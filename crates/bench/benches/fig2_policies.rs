@@ -1,0 +1,23 @@
+//! Bench for the Fig. 2 artifact: building the 8-input/1-output example tree
+//! and applying the three restructuring policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_policies");
+    group.bench_function("example_tree", |b| {
+        b.iter(|| black_box(experiments::fig2::example_tree().expect("tree builds")));
+    });
+    group.bench_function("all_policies", |b| {
+        b.iter(|| black_box(experiments::fig2::run().expect("fig2 runs")));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig2
+}
+criterion_main!(benches);

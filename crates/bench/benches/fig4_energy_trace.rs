@@ -1,0 +1,39 @@
+//! Bench for the Fig. 4 artifact: the FSM running against the engineered
+//! charging-rate schedule.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isim::fsm::FsmConfig;
+use std::hint::black_box;
+use tech45::units::Seconds;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_energy_trace");
+    // One thousand simulated seconds at the figure's 50 ms resolution.
+    group.bench_function("fsm_1000s", |b| {
+        b.iter(|| {
+            black_box(experiments::fig4::run_with(
+                FsmConfig::paper_default(),
+                Seconds::new(1000.0),
+                Seconds::new(0.05),
+            ))
+        });
+    });
+    // The full 4000 s figure at a coarser resolution.
+    group.bench_function("fsm_full_figure", |b| {
+        b.iter(|| {
+            black_box(experiments::fig4::run_with(
+                FsmConfig::paper_default(),
+                Seconds::new(4000.0),
+                Seconds::new(0.5),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4
+}
+criterion_main!(benches);

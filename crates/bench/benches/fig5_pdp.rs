@@ -1,0 +1,29 @@
+//! Bench for the Fig. 5 artifact: evaluating the four schemes on
+//! representative circuits, and the whole trimmed-suite sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diac_bench::{bench_context, circuit, BENCH_CIRCUITS};
+use diac_core::schemes::compare_all_schemes;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("fig5_pdp");
+    for name in BENCH_CIRCUITS {
+        let netlist = circuit(name);
+        group.bench_with_input(BenchmarkId::new("compare_all_schemes", name), &netlist, |b, nl| {
+            b.iter(|| black_box(compare_all_schemes(nl, &ctx).expect("evaluation")));
+        });
+    }
+    group.bench_function("trimmed_suite_sweep", |b| {
+        b.iter(|| black_box(experiments::fig5::run_small().expect("fig5 runs")));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench for the Section IV.B improvement table: aggregating the Fig. 5 data
+//! into the per-suite paper-vs-measured summary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::improvements::ImprovementSummary;
+use std::hint::black_box;
+
+fn bench_improvements(c: &mut Criterion) {
+    let fig5 = experiments::fig5::run_small().expect("fig5 runs");
+    let mut group = c.benchmark_group("improvement_summary");
+    group.bench_function("aggregate", |b| {
+        b.iter(|| black_box(ImprovementSummary::from_fig5(&fig5)));
+    });
+    group.bench_function("render_table", |b| {
+        let summary = ImprovementSummary::from_fig5(&fig5);
+        b.iter(|| black_box(summary.to_table().to_markdown()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_improvements
+}
+criterion_main!(benches);

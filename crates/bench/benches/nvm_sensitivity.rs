@@ -1,0 +1,27 @@
+//! Bench for the Section IV.C sensitivity study: one circuit evaluated under
+//! every NVM technology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diac_bench::{bench_context, circuit};
+use diac_core::schemes::compare_all_schemes;
+use std::hint::black_box;
+use tech45::nvm::NvmTechnology;
+
+fn bench_nvm_sensitivity(c: &mut Criterion) {
+    let netlist = circuit("s510");
+    let mut group = c.benchmark_group("nvm_sensitivity");
+    for tech in NvmTechnology::ALL {
+        let ctx = bench_context().with_nvm(tech);
+        group.bench_with_input(BenchmarkId::new("s510", tech.name()), &ctx, |b, ctx| {
+            b.iter(|| black_box(compare_all_schemes(&netlist, ctx).expect("evaluation")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_nvm_sensitivity
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench for the policy ablation: the DIAC flow under Policies 1–3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diac_bench::{bench_context, circuit};
+use diac_core::policy::Policy;
+use diac_core::schemes::compare_all_schemes;
+use std::hint::black_box;
+
+fn bench_policy_ablation(c: &mut Criterion) {
+    let netlist = circuit("s400");
+    let mut group = c.benchmark_group("policy_ablation");
+    for policy in Policy::ALL {
+        let ctx = bench_context().with_policy(policy);
+        group.bench_with_input(
+            BenchmarkId::new("s400", format!("{policy}")),
+            &ctx,
+            |b, ctx| {
+                b.iter(|| black_box(compare_all_schemes(&netlist, ctx).expect("evaluation")));
+            },
+        );
+    }
+    group.bench_function("ablation_harness", |b| {
+        b.iter(|| {
+            black_box(
+                experiments::policy_ablation::run_on(&["s298", "s400"], &bench_context())
+                    .expect("ablation runs"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policy_ablation
+}
+criterion_main!(benches);

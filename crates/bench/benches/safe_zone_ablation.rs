@@ -1,0 +1,40 @@
+//! Bench for the safe-zone ablation: the runtime simulation swept over the
+//! `Th_SafeZone` margin.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tech45::units::Seconds;
+
+fn bench_safe_zone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("safe_zone_ablation");
+    for margin in [0.0_f64, 2.0, 6.0] {
+        group.bench_with_input(
+            BenchmarkId::new("margin_mj", format!("{margin:.0}")),
+            &margin,
+            |b, &m| {
+                b.iter(|| {
+                    black_box(experiments::safe_zone::run_with_margins(
+                        &[m],
+                        Seconds::new(2000.0),
+                    ))
+                });
+            },
+        );
+    }
+    group.bench_function("full_sweep", |b| {
+        b.iter(|| {
+            black_box(experiments::safe_zone::run_with_margins(
+                &[0.0, 1.0, 2.0, 4.0, 6.0],
+                Seconds::new(1000.0),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_safe_zone
+}
+criterion_main!(benches);

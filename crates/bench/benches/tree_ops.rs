@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the DIAC synthesis kernels: tree generation, policy
+//! application, NVM-boundary insertion and code generation — the design
+//! choices `DESIGN.md` calls out as the scaling-relevant steps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diac_bench::circuit;
+use diac_core::codegen::generate_hdl;
+use diac_core::policy::{apply_policy, Policy, PolicyBounds};
+use diac_core::replacement::{insert_nvm_boundaries, ReplacementConfig};
+use diac_core::tree::{OperandTree, TreeGeneratorConfig};
+use std::hint::black_box;
+use tech45::cells::CellLibrary;
+
+fn bench_tree_ops(c: &mut Criterion) {
+    let library = CellLibrary::nangate45_surrogate();
+    let mut group = c.benchmark_group("tree_ops");
+
+    for name in ["s298", "s526", "mcnc_viper"] {
+        let netlist = circuit(name);
+        group.bench_with_input(BenchmarkId::new("tree_generation", name), &netlist, |b, nl| {
+            b.iter(|| {
+                black_box(
+                    OperandTree::from_netlist(nl, &library, &TreeGeneratorConfig::default())
+                        .expect("tree"),
+                )
+            });
+        });
+    }
+
+    let netlist = circuit("s526");
+    let base_tree =
+        OperandTree::from_netlist(&netlist, &library, &TreeGeneratorConfig::default())
+            .expect("tree");
+
+    group.bench_function("policy3_s526", |b| {
+        b.iter(|| {
+            let mut tree = base_tree.clone();
+            let bounds = PolicyBounds::relative_to(&tree, 0.25, 0.02);
+            apply_policy(&mut tree, Policy::Policy3, &bounds, &library).expect("policy");
+            black_box(tree)
+        });
+    });
+
+    group.bench_function("replacement_s526", |b| {
+        b.iter(|| {
+            black_box(
+                insert_nvm_boundaries(base_tree.clone(), &ReplacementConfig::default())
+                    .expect("replacement"),
+            )
+        });
+    });
+
+    let enhanced = insert_nvm_boundaries(base_tree.clone(), &ReplacementConfig::default())
+        .expect("replacement");
+    group.bench_function("codegen_s526", |b| {
+        b.iter(|| black_box(generate_hdl(&enhanced).expect("codegen")));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tree_ops
+}
+criterion_main!(benches);

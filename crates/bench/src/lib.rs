@@ -1,0 +1,49 @@
+//! Shared helpers for the DIAC Criterion benchmark harness.
+//!
+//! Every bench target in `benches/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` for the experiment index); this small library only
+//! hosts the pieces they share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use diac_core::schemes::SchemeContext;
+use netlist::suite::BenchmarkSuite;
+use netlist::Netlist;
+
+/// Circuits used by the per-circuit benches: one small, one medium, one
+/// larger, spanning two benchmark families.
+pub const BENCH_CIRCUITS: &[&str] = &["s298", "s510", "mcnc_scramble"];
+
+/// Materialises one registry circuit, panicking on registry bugs (benches
+/// have no error channel worth threading).
+///
+/// # Panics
+///
+/// Panics if the circuit is not in the registry (a programming error).
+#[must_use]
+pub fn circuit(name: &str) -> Netlist {
+    BenchmarkSuite::diac_paper()
+        .materialize(name)
+        .unwrap_or_else(|e| panic!("benchmark circuit {name}: {e}"))
+}
+
+/// The default evaluation context used by the benches (analytic profile, so
+/// bench timings do not include the FSM warm-up simulation).
+#[must_use]
+pub fn bench_context() -> SchemeContext {
+    SchemeContext::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_circuits_exist() {
+        for name in BENCH_CIRCUITS {
+            assert!(circuit(name).gate_count() > 0);
+        }
+        assert!(bench_context().profile.is_valid());
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type of the DIAC synthesis core.
+
+use std::error::Error;
+use std::fmt;
+
+use netlist::NetlistError;
+
+/// Errors produced by the DIAC synthesis flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DiacError {
+    /// The underlying netlist is malformed or could not be analysed.
+    Netlist(NetlistError),
+    /// The operand tree is structurally inconsistent.
+    InvalidTree {
+        /// Explanation of the inconsistency.
+        message: String,
+    },
+    /// A policy or replacement configuration is contradictory.
+    InvalidConfig {
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// Code generation produced HDL that fails validation.
+    CodegenFailure {
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// The generated design violates its timing constraint.
+    TimingViolation {
+        /// The operand (or path) violating timing.
+        path: String,
+        /// Required time in seconds.
+        required: f64,
+        /// Actual time in seconds.
+        actual: f64,
+    },
+}
+
+impl fmt::Display for DiacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiacError::Netlist(e) => write!(f, "netlist error: {e}"),
+            DiacError::InvalidTree { message } => write!(f, "invalid operand tree: {message}"),
+            DiacError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            DiacError::CodegenFailure { message } => write!(f, "code generation failed: {message}"),
+            DiacError::TimingViolation { path, required, actual } => write!(
+                f,
+                "timing violation on `{path}`: needs {required:.3e} s but takes {actual:.3e} s"
+            ),
+        }
+    }
+}
+
+impl Error for DiacError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DiacError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for DiacError {
+    fn from(e: NetlistError) -> Self {
+        DiacError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let errors: Vec<DiacError> = vec![
+            NetlistError::EmptyNetlist.into(),
+            DiacError::InvalidTree { message: "orphan".into() },
+            DiacError::InvalidConfig { message: "bad bounds".into() },
+            DiacError::CodegenFailure { message: "dangling wire".into() },
+            DiacError::TimingViolation { path: "op3".into(), required: 1e-9, actual: 2e-9 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn netlist_errors_are_wrapped_with_a_source() {
+        let e: DiacError = NetlistError::EmptyNetlist.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("netlist"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<DiacError>();
+    }
+}

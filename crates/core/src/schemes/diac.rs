@@ -1,0 +1,111 @@
+//! The DIAC scheme (without the safe zone).
+//!
+//! The design keeps plain volatile flip-flops at run time (no per-update
+//! penalty) and commits to NVM only at the tree-selected boundaries when the
+//! power-management unit raises a backup interrupt.  Because the replacement
+//! criteria prefer narrow, well-connected cuts near the outputs, a backup
+//! moves far fewer bits than checkpointing every state element.
+
+use tech45::flipflop::FlipFlopKind;
+
+use super::{Calibration, SchemeContext, SchemeKind, SchemeSpec};
+use crate::replacement::ReplacementSummary;
+
+/// The DIAC scheme without the `Th_SafeZone` optimisation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Diac;
+
+/// Bits written per DIAC backup: the live boundary cut plus the control state
+/// (`Reg_Flag`, FSM state) that the backup routine always stores.
+pub(super) fn diac_bits_per_backup(
+    state_bits: u64,
+    replacement: Option<&ReplacementSummary>,
+    calibration: &Calibration,
+) -> f64 {
+    let boundary_bits = replacement
+        .map(|r| r.average_boundary_bits)
+        .filter(|&b| b > 0.0)
+        // Without a replacement summary fall back to the architectural state,
+        // which is what a naive backup of the design would store.
+        .unwrap_or(state_bits as f64);
+    boundary_bits + calibration.control_state_bits as f64
+}
+
+impl SchemeSpec for Diac {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Diac
+    }
+
+    fn flip_flop(&self, _ctx: &SchemeContext) -> FlipFlopKind {
+        FlipFlopKind::Volatile
+    }
+
+    fn uses_safe_zone(&self) -> bool {
+        false
+    }
+
+    fn needs_tree(&self) -> bool {
+        true
+    }
+
+    fn bits_per_backup(
+        &self,
+        state_bits: u64,
+        replacement: Option<&ReplacementSummary>,
+        calibration: &Calibration,
+    ) -> f64 {
+        diac_bits_per_backup(state_bits, replacement, calibration)
+    }
+
+    fn reexecution_exposure(&self) -> f64 {
+        // Work since the last committed boundary is lost on a sudden failure;
+        // the boundaries are spaced by the replacement budget, so the exposure
+        // is larger than for the always-persistent baselines.
+        0.10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tech45::units::{Energy, Seconds};
+
+    #[test]
+    fn uses_volatile_ffs_and_the_tree_flow() {
+        let ctx = SchemeContext::default();
+        assert_eq!(Diac.kind(), SchemeKind::Diac);
+        assert_eq!(Diac.flip_flop(&ctx), FlipFlopKind::Volatile);
+        assert!(!Diac.uses_safe_zone());
+        assert!(Diac.needs_tree());
+    }
+
+    #[test]
+    fn backup_bits_come_from_the_boundary_cut() {
+        let calibration = Calibration::default();
+        let summary = ReplacementSummary {
+            boundaries: 5,
+            total_boundary_bits: 60,
+            average_boundary_bits: 12.0,
+            energy_budget: Energy::from_millijoules(1.0),
+            max_unsaved_energy: Energy::from_millijoules(1.0),
+            backup_energy: Energy::ZERO,
+            backup_latency: Seconds::ZERO,
+            restore_energy: Energy::ZERO,
+            restore_latency: Seconds::ZERO,
+        };
+        let bits = Diac.bits_per_backup(200, Some(&summary), &calibration);
+        assert!((bits - 20.0).abs() < 1e-9, "12 boundary bits + 8 control bits, got {bits}");
+    }
+
+    #[test]
+    fn falls_back_to_state_bits_without_a_summary() {
+        let calibration = Calibration::default();
+        let bits = Diac.bits_per_backup(40, None, &calibration);
+        assert!((bits - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exposure_reflects_the_coarser_checkpoints() {
+        assert!(Diac.reexecution_exposure() > 0.05);
+    }
+}

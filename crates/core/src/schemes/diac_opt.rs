@@ -1,0 +1,72 @@
+//! The optimized DIAC scheme: DIAC plus the `Th_SafeZone` mechanism.
+//!
+//! "To make the evaluation more comprehensive, we have considered two
+//! DIAC-based implementations, excluding and including Th_SafeZone […] this
+//! state allows us to reduce power consumption and delay by reducing the
+//! number of NVM writes required."  (Section IV.B.)  Whenever the stored
+//! energy dips below the operating threshold but recovers before reaching
+//! `Th_Bk`, the pending backup is skipped entirely; the fraction of
+//! emergencies that recover this way comes from the intermittency profile.
+
+use tech45::flipflop::FlipFlopKind;
+
+use super::diac::diac_bits_per_backup;
+use super::{Calibration, SchemeContext, SchemeKind, SchemeSpec};
+use crate::replacement::ReplacementSummary;
+
+/// The optimized DIAC scheme (with the safe zone).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiacOptimized;
+
+impl SchemeSpec for DiacOptimized {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::DiacOptimized
+    }
+
+    fn flip_flop(&self, _ctx: &SchemeContext) -> FlipFlopKind {
+        FlipFlopKind::Volatile
+    }
+
+    fn uses_safe_zone(&self) -> bool {
+        true
+    }
+
+    fn needs_tree(&self) -> bool {
+        true
+    }
+
+    fn bits_per_backup(
+        &self,
+        state_bits: u64,
+        replacement: Option<&ReplacementSummary>,
+        calibration: &Calibration,
+    ) -> f64 {
+        diac_bits_per_backup(state_bits, replacement, calibration)
+    }
+
+    fn reexecution_exposure(&self) -> f64 {
+        0.10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_diac_plus_the_safe_zone() {
+        let ctx = SchemeContext::default();
+        assert_eq!(DiacOptimized.kind(), SchemeKind::DiacOptimized);
+        assert_eq!(DiacOptimized.flip_flop(&ctx), FlipFlopKind::Volatile);
+        assert!(DiacOptimized.uses_safe_zone());
+        assert!(DiacOptimized.needs_tree());
+    }
+
+    #[test]
+    fn backup_bits_match_plain_diac() {
+        let calibration = Calibration::default();
+        let a = DiacOptimized.bits_per_backup(64, None, &calibration);
+        let b = super::super::Diac.bits_per_backup(64, None, &calibration);
+        assert!((a - b).abs() < 1e-12);
+    }
+}

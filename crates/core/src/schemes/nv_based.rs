@@ -1,0 +1,78 @@
+//! The NV-based baseline: conventional checkpointing with one non-volatile
+//! flip-flop per state bit.
+//!
+//! "The NV-based method operates similarly to conventional checkpointing,
+//! where flip-flops (FFs) are replaced by the NV-FFs to store states.  It
+//! provides the highest resiliency at the cost of significant overhead."
+//! (Section IV.B of the paper.)
+
+use tech45::flipflop::FlipFlopKind;
+
+use super::{Calibration, SchemeContext, SchemeKind, SchemeSpec};
+use crate::replacement::ReplacementSummary;
+
+/// The NV-based baseline scheme.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NvBased;
+
+impl SchemeSpec for NvBased {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::NvBased
+    }
+
+    fn flip_flop(&self, ctx: &SchemeContext) -> FlipFlopKind {
+        FlipFlopKind::NonVolatile(ctx.nvm)
+    }
+
+    fn uses_safe_zone(&self) -> bool {
+        false
+    }
+
+    fn needs_tree(&self) -> bool {
+        false
+    }
+
+    fn bits_per_backup(
+        &self,
+        state_bits: u64,
+        _replacement: Option<&ReplacementSummary>,
+        _calibration: &Calibration,
+    ) -> f64 {
+        // Every architectural state bit lives in its own scattered NV-FF, so
+        // every backup commits all of them and cannot share write peripherals
+        // the way a packed backup array can.
+        state_bits as f64 * 1.25
+    }
+
+    fn reexecution_exposure(&self) -> f64 {
+        // With every flip-flop non-volatile, only the work of the cycle in
+        // flight is lost on a sudden failure.
+        0.02
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tech45::nvm::NvmTechnology;
+
+    #[test]
+    fn uses_nv_ffs_and_no_safe_zone() {
+        let ctx = SchemeContext::default();
+        assert_eq!(NvBased.kind(), SchemeKind::NvBased);
+        assert_eq!(NvBased.flip_flop(&ctx), FlipFlopKind::NonVolatile(NvmTechnology::Mram));
+        assert!(!NvBased.uses_safe_zone());
+        assert!(!NvBased.needs_tree());
+    }
+
+    #[test]
+    fn backs_up_every_state_bit_with_a_scatter_penalty() {
+        let bits = NvBased.bits_per_backup(100, None, &Calibration::default());
+        assert!((bits - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn has_the_smallest_reexecution_exposure() {
+        assert!(NvBased.reexecution_exposure() < 0.1);
+    }
+}

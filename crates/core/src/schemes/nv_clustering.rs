@@ -1,0 +1,90 @@
+//! The NV-Clustering baseline: logic-embedded flip-flops (LE-FF).
+//!
+//! Reproduces the first-order behaviour of Roohi & DeMara, "NV-Clustering:
+//! Normally-Off Computing Using Non-Volatile Datapaths" (IEEE TC 2018), the
+//! second comparison point of the paper: Boolean logic is embedded into the
+//! state-holding cell, so clusters of gates share one non-volatile element —
+//! cheaper run-time updates than one NV-FF per bit and better-packed backup
+//! writes, but still no tree-level placement optimisation and no safe zone.
+
+use tech45::flipflop::FlipFlopKind;
+
+use super::{Calibration, SchemeContext, SchemeKind, SchemeSpec};
+use crate::replacement::ReplacementSummary;
+
+/// The NV-Clustering (LE-FF) baseline scheme.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NvClustering;
+
+impl SchemeSpec for NvClustering {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::NvClustering
+    }
+
+    fn flip_flop(&self, ctx: &SchemeContext) -> FlipFlopKind {
+        FlipFlopKind::LogicEmbedded {
+            technology: ctx.nvm,
+            cluster_size: ctx.calibration.cluster_size,
+        }
+    }
+
+    fn uses_safe_zone(&self) -> bool {
+        false
+    }
+
+    fn needs_tree(&self) -> bool {
+        false
+    }
+
+    fn bits_per_backup(
+        &self,
+        state_bits: u64,
+        _replacement: Option<&ReplacementSummary>,
+        calibration: &Calibration,
+    ) -> f64 {
+        // Clustering lets several state bits share one write driver: the
+        // commits are grouped per cluster, but each clustered commit carries a
+        // packing premium because the embedded cone needs a stronger driver.
+        // Net effect: noticeably cheaper than one scattered NV-FF write per
+        // bit, yet still proportional to the full architectural state.
+        let cluster = calibration.cluster_size.max(1) as f64;
+        let commits = (state_bits as f64 / cluster).ceil();
+        let bits_per_commit = cluster * (1.0 + 0.15 * cluster.sqrt()) * 0.78;
+        commits * bits_per_commit
+    }
+
+    fn reexecution_exposure(&self) -> f64 {
+        0.05
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uses_le_ffs_without_a_safe_zone_or_tree() {
+        let ctx = SchemeContext::default();
+        assert_eq!(NvClustering.kind(), SchemeKind::NvClustering);
+        assert!(matches!(
+            NvClustering.flip_flop(&ctx),
+            FlipFlopKind::LogicEmbedded { cluster_size: 5, .. }
+        ));
+        assert!(!NvClustering.uses_safe_zone());
+        assert!(!NvClustering.needs_tree());
+    }
+
+    #[test]
+    fn backup_traffic_sits_between_diac_and_nv_based() {
+        let calibration = Calibration::default();
+        let bits = NvClustering.bits_per_backup(100, None, &calibration);
+        assert!(bits < 125.0, "must beat NV-based ({bits})");
+        assert!(bits > 10.0, "must not be implausibly small ({bits})");
+    }
+
+    #[test]
+    fn exposure_is_between_the_extremes() {
+        assert!(NvClustering.reexecution_exposure() > 0.02);
+        assert!(NvClustering.reexecution_exposure() < 0.5);
+    }
+}

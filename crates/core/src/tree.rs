@@ -1,0 +1,1021 @@
+//! The operand tree: DIAC's working representation of a design.
+//!
+//! The tree generator (Fig. 1, steps 1–3) clusters the gates of a synthesized
+//! netlist into *operands* (the paper's "functions"), connects them following
+//! the netlist's combinational dependencies, and attaches a feature
+//! dictionary to every node.  Leaves sit near the primary inputs, roots drive
+//! the primary outputs, and the replacement procedure later walks the levels
+//! from the leaves upwards.
+//!
+//! Trees can also be built directly from explicit node energies (see
+//! [`OperandTree::builder`]) — that is how the Fig. 2 example of the paper,
+//! whose operands are characterised in millijoules, is reproduced.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+use netlist::levelize::levelize;
+use netlist::{GateId, Netlist};
+use tech45::cells::CellLibrary;
+use tech45::energy_model::{EnergyEstimate, OperandProfile};
+use tech45::units::{Energy, Seconds};
+
+use crate::error::DiacError;
+use crate::feature::FeatureDict;
+
+/// Identifier of an operand node inside one [`OperandTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OperandId(pub u32);
+
+impl OperandId {
+    /// The id as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OperandId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// One node of the operand tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Operand {
+    /// Identifier of the node.
+    pub id: OperandId,
+    /// Human-readable name (`F13`, `op4_2`, …).
+    pub name: String,
+    /// Netlist gates clustered into this operand (empty for explicit nodes).
+    pub gates: Vec<GateId>,
+    /// Operands feeding this one (towards the inputs).
+    pub children: Vec<OperandId>,
+    /// Operands fed by this one (towards the outputs).
+    pub parents: Vec<OperandId>,
+    /// Feature dictionary.
+    pub dict: FeatureDict,
+    alive: bool,
+}
+
+impl Operand {
+    /// Whether the node is still part of the tree (merges retire nodes).
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Whether this node drives no other operand (a root of the tree).
+    #[must_use]
+    pub fn is_root(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// Whether this node has no operand children (a leaf of the tree).
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// Configuration of the netlist-to-tree clustering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeGeneratorConfig {
+    /// Target number of netlist gates per operand.
+    pub gates_per_operand: usize,
+    /// Switching activity assumed for the energy estimates.
+    pub activity: f64,
+}
+
+impl Default for TreeGeneratorConfig {
+    fn default() -> Self {
+        Self { gates_per_operand: 8, activity: tech45::constants::DEFAULT_ACTIVITY }
+    }
+}
+
+/// The operand tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperandTree {
+    name: String,
+    operands: Vec<Operand>,
+    /// Total number of architectural state bits of the underlying design
+    /// (flip-flops plus primary outputs); carried along for the schemes.
+    state_bits: u64,
+}
+
+impl OperandTree {
+    // --- construction -------------------------------------------------------
+
+    /// Clusters `netlist` into an operand tree using the surrogate `library`
+    /// for the energy estimates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiacError::Netlist`] if the netlist cannot be levelized and
+    /// [`DiacError::InvalidConfig`] for a zero `gates_per_operand`.
+    pub fn from_netlist(
+        netlist: &Netlist,
+        library: &CellLibrary,
+        config: &TreeGeneratorConfig,
+    ) -> Result<Self, DiacError> {
+        if config.gates_per_operand == 0 {
+            return Err(DiacError::InvalidConfig {
+                message: "gates_per_operand must be at least 1".to_string(),
+            });
+        }
+        let levels = levelize(netlist)?;
+        let fanouts = netlist.fanouts();
+        let po_set: BTreeSet<GateId> = netlist.primary_outputs().iter().copied().collect();
+
+        // 1. chunk the combinational gates of every level into operands.
+        let mut operands: Vec<Operand> = Vec::new();
+        let mut operand_of: HashMap<GateId, OperandId> = HashMap::new();
+        for (level_idx, level_gates) in levels.by_level().iter().enumerate() {
+            let comb: Vec<GateId> = level_gates
+                .iter()
+                .copied()
+                .filter(|&g| netlist.gate(g).kind.is_combinational())
+                .collect();
+            for (chunk_idx, chunk) in comb.chunks(config.gates_per_operand).enumerate() {
+                let id = OperandId(operands.len() as u32);
+                for &g in chunk {
+                    operand_of.insert(g, id);
+                }
+                operands.push(Operand {
+                    id,
+                    name: format!("op{}_{}", level_idx, chunk_idx),
+                    gates: chunk.to_vec(),
+                    children: Vec::new(),
+                    parents: Vec::new(),
+                    dict: FeatureDict::default(),
+                    alive: true,
+                });
+            }
+        }
+        if operands.is_empty() {
+            return Err(DiacError::InvalidTree {
+                message: format!("netlist `{}` has no combinational gates", netlist.name()),
+            });
+        }
+
+        // 2. connect operands following gate-level dependencies.
+        let mut child_sets: Vec<BTreeSet<OperandId>> = vec![BTreeSet::new(); operands.len()];
+        for (gate, &op) in &operand_of {
+            for &f in &netlist.gate(*gate).fanin {
+                if let Some(&src_op) = operand_of.get(&f) {
+                    if src_op != op {
+                        child_sets[op.index()].insert(src_op);
+                    }
+                }
+            }
+        }
+        for (idx, children) in child_sets.into_iter().enumerate() {
+            for child in children {
+                operands[idx].children.push(child);
+                operands[child.index()].parents.push(OperandId(idx as u32));
+            }
+        }
+
+        // 3. feature dictionaries.
+        for operand in &mut operands {
+            let mut external_inputs: BTreeSet<GateId> = BTreeSet::new();
+            let mut external_outputs: BTreeSet<GateId> = BTreeSet::new();
+            let member: BTreeSet<GateId> = operand.gates.iter().copied().collect();
+            let mut gate_levels: BTreeSet<u32> = BTreeSet::new();
+            for &g in &operand.gates {
+                gate_levels.insert(levels.level(g));
+                for &f in &netlist.gate(g).fanin {
+                    if !member.contains(&f) {
+                        external_inputs.insert(f);
+                    }
+                }
+                let read_outside = fanouts[g.index()].iter().any(|r| !member.contains(r));
+                let feeds_ff = fanouts[g.index()]
+                    .iter()
+                    .any(|&r| netlist.gate(r).kind.is_sequential());
+                if read_outside || feeds_ff || po_set.contains(&g) {
+                    external_outputs.insert(g);
+                }
+            }
+            let cells: Vec<_> = operand
+                .gates
+                .iter()
+                .flat_map(|&g| netlist.gate(g).cells())
+                .collect();
+            let estimate = OperandProfile::from_gates(cells)
+                .with_depth(gate_levels.len().max(1))
+                .with_activity(config.activity)
+                .estimate(library);
+            operand.dict = FeatureDict::new(
+                external_inputs.len(),
+                external_outputs.len().max(1),
+                0,
+                estimate,
+            );
+        }
+
+        let mut tree = Self {
+            name: netlist.name().to_string(),
+            operands,
+            state_bits: netlist.architectural_state_bits(),
+        };
+        tree.recompute_levels();
+        tree.validate()?;
+        Ok(tree)
+    }
+
+    /// Starts building a tree from explicit nodes (energies given directly),
+    /// as needed for the paper's Fig. 2 example.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> OperandTreeBuilder {
+        OperandTreeBuilder { name: name.into(), nodes: Vec::new() }
+    }
+
+    // --- accessors ----------------------------------------------------------
+
+    /// Design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of live operands.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.operands.iter().filter(|o| o.alive).count()
+    }
+
+    /// Whether the tree has no live operands.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Architectural state bits of the underlying design.
+    #[must_use]
+    pub fn state_bits(&self) -> u64 {
+        self.state_bits
+    }
+
+    /// Overrides the architectural state bits (used by explicit trees).
+    pub fn set_state_bits(&mut self, bits: u64) {
+        self.state_bits = bits;
+    }
+
+    /// Iterates over the live operands.
+    pub fn iter(&self) -> impl Iterator<Item = &Operand> {
+        self.operands.iter().filter(|o| o.alive)
+    }
+
+    /// Access to one live operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or refers to a retired operand.
+    #[must_use]
+    pub fn operand(&self, id: OperandId) -> &Operand {
+        let op = &self.operands[id.index()];
+        assert!(op.alive, "operand {id} has been retired by a merge");
+        op
+    }
+
+    /// Fallible access to an operand (returns `None` for retired nodes).
+    #[must_use]
+    pub fn try_operand(&self, id: OperandId) -> Option<&Operand> {
+        self.operands.get(id.index()).filter(|o| o.alive)
+    }
+
+    /// Mutable access to one live operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or refers to a retired operand.
+    pub fn operand_mut(&mut self, id: OperandId) -> &mut Operand {
+        let op = &mut self.operands[id.index()];
+        assert!(op.alive, "operand {id} has been retired by a merge");
+        op
+    }
+
+    /// Live operands that drive no other operand (the tree roots / outputs).
+    #[must_use]
+    pub fn roots(&self) -> Vec<OperandId> {
+        self.iter().filter(|o| o.is_root()).map(|o| o.id).collect()
+    }
+
+    /// Live operands with no operand children (the tree leaves / inputs).
+    #[must_use]
+    pub fn leaves(&self) -> Vec<OperandId> {
+        self.iter().filter(|o| o.is_leaf()).map(|o| o.id).collect()
+    }
+
+    /// The deepest level in the tree.
+    #[must_use]
+    pub fn max_level(&self) -> u32 {
+        self.iter().map(|o| o.dict.level).max().unwrap_or(0)
+    }
+
+    /// Live operands grouped by level (index 0 = leaves).
+    #[must_use]
+    pub fn by_level(&self) -> Vec<Vec<OperandId>> {
+        let mut map: BTreeMap<u32, Vec<OperandId>> = BTreeMap::new();
+        for op in self.iter() {
+            map.entry(op.dict.level).or_default().push(op.id);
+        }
+        let max = map.keys().copied().max().unwrap_or(0);
+        (0..=max).map(|l| map.remove(&l).unwrap_or_default()).collect()
+    }
+
+    /// Sum of the per-activation energies of all live operands.
+    #[must_use]
+    pub fn total_energy(&self) -> Energy {
+        self.iter().map(|o| o.dict.energy()).sum()
+    }
+
+    /// Critical-path delay through the tree: the longest chain of operand
+    /// delays from any leaf to any root.
+    #[must_use]
+    pub fn critical_path(&self) -> Seconds {
+        let order = self.topological_order();
+        let mut arrival: HashMap<OperandId, Seconds> = HashMap::new();
+        let mut worst = Seconds::ZERO;
+        for id in order {
+            let op = self.operand(id);
+            let start = op
+                .children
+                .iter()
+                .filter_map(|c| arrival.get(c).copied())
+                .fold(Seconds::ZERO, Seconds::max);
+            let t = start + op.dict.delay();
+            worst = worst.max(t);
+            arrival.insert(id, t);
+        }
+        worst
+    }
+
+    /// Operands currently flagged as NVM boundaries.
+    #[must_use]
+    pub fn boundary_operands(&self) -> Vec<OperandId> {
+        self.iter().filter(|o| o.dict.nvm_boundary).map(|o| o.id).collect()
+    }
+
+    /// Live operands in a topological order (children before parents).
+    #[must_use]
+    pub fn topological_order(&self) -> Vec<OperandId> {
+        let mut order = Vec::with_capacity(self.len());
+        let mut remaining: HashMap<OperandId, usize> = self
+            .iter()
+            .map(|o| (o.id, o.children.iter().filter(|c| self.is_alive(**c)).count()))
+            .collect();
+        let mut ready: Vec<OperandId> =
+            remaining.iter().filter(|(_, &d)| d == 0).map(|(&id, _)| id).collect();
+        ready.sort_unstable();
+        while let Some(id) = ready.pop() {
+            order.push(id);
+            for &parent in &self.operands[id.index()].parents {
+                if !self.is_alive(parent) {
+                    continue;
+                }
+                if let Some(d) = remaining.get_mut(&parent) {
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(parent);
+                    }
+                }
+            }
+            ready.sort_unstable();
+        }
+        order
+    }
+
+    fn is_alive(&self, id: OperandId) -> bool {
+        self.operands.get(id.index()).is_some_and(|o| o.alive)
+    }
+
+    // --- structural edits ---------------------------------------------------
+
+    /// Recomputes every live operand's level from the DAG (leaves = 0).
+    pub fn recompute_levels(&mut self) {
+        let order = self.topological_order();
+        let mut level: HashMap<OperandId, u32> = HashMap::new();
+        for id in order {
+            let op = &self.operands[id.index()];
+            let l = op
+                .children
+                .iter()
+                .filter(|c| self.is_alive(**c))
+                .filter_map(|c| level.get(c).copied())
+                .max()
+                .map_or(0, |m| m + 1);
+            level.insert(id, l);
+        }
+        for (id, l) in level {
+            self.operands[id.index()].dict.level = l;
+        }
+    }
+
+    /// Splits a live operand into `parts` chained sub-operands (Policy1).
+    ///
+    /// The first part keeps the original children, each subsequent part reads
+    /// the previous one, and the last part inherits the original parents.
+    /// Returns the ids of the new operands in chain order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiacError::InvalidConfig`] when `parts < 2` or the operand
+    /// cannot be split that finely.
+    pub fn split_operand(
+        &mut self,
+        id: OperandId,
+        parts: usize,
+        library: &CellLibrary,
+    ) -> Result<Vec<OperandId>, DiacError> {
+        if parts < 2 {
+            return Err(DiacError::InvalidConfig {
+                message: "splitting requires at least two parts".to_string(),
+            });
+        }
+        let original = self.operand(id).clone();
+        let gate_based = !original.gates.is_empty();
+        if gate_based && original.gates.len() < parts {
+            return Err(DiacError::InvalidConfig {
+                message: format!(
+                    "operand {} has only {} gates, cannot split into {} parts",
+                    original.name,
+                    original.gates.len(),
+                    parts
+                ),
+            });
+        }
+
+        // Prepare the per-part gate lists / estimates.
+        let mut part_gates: Vec<Vec<GateId>> = vec![Vec::new(); parts];
+        if gate_based {
+            let chunk = original.gates.len().div_ceil(parts);
+            for (i, g) in original.gates.iter().enumerate() {
+                part_gates[(i / chunk).min(parts - 1)].push(*g);
+            }
+        }
+        let explicit_estimate = if gate_based {
+            None
+        } else {
+            let e = original.dict.estimate;
+            Some(EnergyEstimate {
+                dynamic: e.dynamic / parts as f64,
+                static_: e.static_ / parts as f64,
+                critical_path: e.critical_path / parts as f64,
+                leakage_power: e.leakage_power,
+                gate_count: (e.gate_count / parts).max(1),
+            })
+        };
+
+        // Retire the original and create the chain.
+        self.operands[id.index()].alive = false;
+        let mut new_ids = Vec::with_capacity(parts);
+        for (i, gates) in part_gates.into_iter().enumerate() {
+            let new_id = OperandId(self.operands.len() as u32);
+            // Gate-based parts get a placeholder estimate here and are
+            // re-estimated from their gates once the chain is wired up.
+            let estimate = explicit_estimate.unwrap_or_default();
+            let children = if i == 0 { original.children.clone() } else { vec![new_ids[i - 1]] };
+            let parents = if i + 1 == parts { original.parents.clone() } else { Vec::new() };
+            let fan_in = if i == 0 { original.dict.fan_in } else { 1 };
+            let fan_out = if i + 1 == parts { original.dict.fan_out } else { 1 };
+            let dict = FeatureDict::new(fan_in, fan_out, original.dict.level, estimate);
+            self.operands.push(Operand {
+                id: new_id,
+                name: format!("{}_{}", original.name, i),
+                gates,
+                children,
+                parents,
+                dict,
+                alive: true,
+            });
+            new_ids.push(new_id);
+        }
+        // Chain the parents/children of intermediate parts.
+        for i in 0..parts - 1 {
+            let next = new_ids[i + 1];
+            self.operands[new_ids[i].index()].parents.push(next);
+        }
+        // Re-point the surrounding operands at the chain ends.
+        let first = new_ids[0];
+        let last = new_ids[parts - 1];
+        for &child in &original.children {
+            if let Some(op) = self.operands.get_mut(child.index()) {
+                for p in &mut op.parents {
+                    if *p == id {
+                        *p = first;
+                    }
+                }
+            }
+        }
+        for &parent in &original.parents {
+            if let Some(op) = self.operands.get_mut(parent.index()) {
+                for c in &mut op.children {
+                    if *c == id {
+                        *c = last;
+                    }
+                }
+            }
+        }
+        // Recompute estimates of the gate-based parts.
+        if gate_based {
+            for &nid in &new_ids {
+                self.reestimate(nid, library);
+            }
+        }
+        self.recompute_levels();
+        Ok(new_ids)
+    }
+
+    /// Merges two adjacent live operands into one (Policy2).  The survivor is
+    /// `a`; `b` is retired and its gates, children and parents are folded
+    /// into `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiacError::InvalidConfig`] when `a == b` or either operand
+    /// has been retired already.
+    pub fn merge_operands(
+        &mut self,
+        a: OperandId,
+        b: OperandId,
+        library: &CellLibrary,
+    ) -> Result<OperandId, DiacError> {
+        if a == b {
+            return Err(DiacError::InvalidConfig {
+                message: "cannot merge an operand with itself".to_string(),
+            });
+        }
+        if !self.is_alive(a) || !self.is_alive(b) {
+            return Err(DiacError::InvalidConfig {
+                message: "cannot merge retired operands".to_string(),
+            });
+        }
+        let b_node = self.operands[b.index()].clone();
+        self.operands[b.index()].alive = false;
+
+        // Fold b's structure into a.
+        let gate_based;
+        {
+            let a_node = &mut self.operands[a.index()];
+            gate_based = !a_node.gates.is_empty() || !b_node.gates.is_empty();
+            a_node.gates.extend(b_node.gates.iter().copied());
+            let merged_estimate = a_node.dict.estimate.merged_with(&b_node.dict.estimate);
+            a_node.dict.fan_in += b_node.dict.fan_in;
+            a_node.dict.fan_out = (a_node.dict.fan_out + b_node.dict.fan_out).saturating_sub(1);
+            a_node.dict.estimate = merged_estimate;
+            a_node.dict.gate_count = merged_estimate.gate_count;
+            let children: BTreeSet<OperandId> = a_node
+                .children
+                .iter()
+                .chain(b_node.children.iter())
+                .copied()
+                .filter(|&c| c != a && c != b)
+                .collect();
+            a_node.children = children.into_iter().collect();
+            let parents: BTreeSet<OperandId> = a_node
+                .parents
+                .iter()
+                .chain(b_node.parents.iter())
+                .copied()
+                .filter(|&p| p != a && p != b)
+                .collect();
+            a_node.parents = parents.into_iter().collect();
+        }
+        // Re-point every other operand that referenced b.
+        for op in &mut self.operands {
+            if !op.alive || op.id == a {
+                continue;
+            }
+            let mut touched = false;
+            for c in &mut op.children {
+                if *c == b {
+                    *c = a;
+                    touched = true;
+                }
+            }
+            for p in &mut op.parents {
+                if *p == b {
+                    *p = a;
+                    touched = true;
+                }
+            }
+            if touched {
+                op.children.sort_unstable();
+                op.children.dedup();
+                op.parents.sort_unstable();
+                op.parents.dedup();
+            }
+        }
+        // Remove any self-loops created by the merge.
+        {
+            let a_node = &mut self.operands[a.index()];
+            a_node.children.retain(|&c| c != a);
+            a_node.parents.retain(|&p| p != a);
+        }
+        if gate_based {
+            self.reestimate(a, library);
+        }
+        self.recompute_levels();
+        Ok(a)
+    }
+
+    fn reestimate(&mut self, id: OperandId, library: &CellLibrary) {
+        // Gate kinds are not stored per operand, so the re-estimate treats
+        // every clustered gate as an average 2-input cell; the original
+        // netlist-accurate estimate is preserved for unmodified operands.
+        let op = &self.operands[id.index()];
+        if op.gates.is_empty() {
+            return;
+        }
+        let cells = vec![tech45::cells::CellKind::Nand2; op.gates.len()];
+        let activity = tech45::constants::DEFAULT_ACTIVITY;
+        let estimate =
+            OperandProfile::from_gates(cells).with_activity(activity).estimate(library);
+        let op = &mut self.operands[id.index()];
+        op.dict.estimate = estimate;
+        op.dict.gate_count = estimate.gate_count;
+    }
+
+    // --- validation & rendering ---------------------------------------------
+
+    /// Checks structural consistency: symmetric edges, no dangling or retired
+    /// references, acyclicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiacError::InvalidTree`] describing the first inconsistency.
+    pub fn validate(&self) -> Result<(), DiacError> {
+        for op in self.iter() {
+            for &child in &op.children {
+                let c = self.try_operand(child).ok_or_else(|| DiacError::InvalidTree {
+                    message: format!("{} references retired child {child}", op.name),
+                })?;
+                if !c.parents.contains(&op.id) {
+                    return Err(DiacError::InvalidTree {
+                        message: format!("edge {} -> {} is not symmetric", child, op.id),
+                    });
+                }
+            }
+            for &parent in &op.parents {
+                let p = self.try_operand(parent).ok_or_else(|| DiacError::InvalidTree {
+                    message: format!("{} references retired parent {parent}", op.name),
+                })?;
+                if !p.children.contains(&op.id) {
+                    return Err(DiacError::InvalidTree {
+                        message: format!("edge {} -> {} is not symmetric", op.id, parent),
+                    });
+                }
+            }
+        }
+        if self.topological_order().len() != self.len() {
+            return Err(DiacError::InvalidTree {
+                message: "operand graph contains a cycle".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Renders the tree as indented ASCII, one line per operand, grouped by
+    /// level — the textual counterpart of the paper's Fig. 2 drawings.
+    #[must_use]
+    pub fn render_ascii(&self) -> String {
+        let mut out = format!("operand tree `{}` ({} operands)\n", self.name, self.len());
+        for (level, ids) in self.by_level().iter().enumerate() {
+            out.push_str(&format!("level {level}:\n"));
+            for &id in ids {
+                let op = self.operand(id);
+                let marker = if op.dict.nvm_boundary { " [NVM]" } else { "" };
+                out.push_str(&format!(
+                    "  {} ({} gates, {:.3e} J, fan-in {}, fan-out {}){}\n",
+                    op.name,
+                    op.dict.gate_count,
+                    op.dict.energy().as_joules(),
+                    op.dict.fan_in,
+                    op.dict.fan_out,
+                    marker
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for OperandTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "operand tree `{}`: {} operands, {} levels, {:.3e} J per activation",
+            self.name,
+            self.len(),
+            self.max_level() + 1,
+            self.total_energy().as_joules()
+        )
+    }
+}
+
+/// Builder for explicit operand trees (nodes characterised directly by an
+/// energy instead of by netlist gates).
+#[derive(Debug, Clone)]
+pub struct OperandTreeBuilder {
+    name: String,
+    nodes: Vec<(String, Energy, Seconds, Vec<String>)>,
+}
+
+impl OperandTreeBuilder {
+    /// Adds a node with the given per-activation `energy`, `delay`, and the
+    /// names of the nodes feeding it (children); leaves pass an empty list.
+    #[must_use]
+    pub fn node(
+        mut self,
+        name: impl Into<String>,
+        energy: Energy,
+        delay: Seconds,
+        children: &[&str],
+    ) -> Self {
+        self.nodes.push((
+            name.into(),
+            energy,
+            delay,
+            children.iter().map(|s| (*s).to_string()).collect(),
+        ));
+        self
+    }
+
+    /// Finishes the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiacError::InvalidTree`] for duplicate names or references to
+    /// unknown children.
+    pub fn build(self) -> Result<OperandTree, DiacError> {
+        let mut index: HashMap<String, OperandId> = HashMap::new();
+        for (i, (name, ..)) in self.nodes.iter().enumerate() {
+            if index.insert(name.clone(), OperandId(i as u32)).is_some() {
+                return Err(DiacError::InvalidTree {
+                    message: format!("duplicate operand name `{name}`"),
+                });
+            }
+        }
+        let mut operands = Vec::with_capacity(self.nodes.len());
+        for (i, (name, energy, delay, child_names)) in self.nodes.iter().enumerate() {
+            let children: Vec<OperandId> = child_names
+                .iter()
+                .map(|n| {
+                    index.get(n).copied().ok_or_else(|| DiacError::InvalidTree {
+                        message: format!("operand `{name}` references unknown child `{n}`"),
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let estimate = EnergyEstimate {
+                dynamic: *energy,
+                static_: Energy::ZERO,
+                critical_path: *delay,
+                leakage_power: tech45::units::Power::ZERO,
+                gate_count: 1,
+            };
+            let dict = FeatureDict::new(children.len().max(1), 1, 0, estimate);
+            operands.push(Operand {
+                id: OperandId(i as u32),
+                name: name.clone(),
+                gates: Vec::new(),
+                children,
+                parents: Vec::new(),
+                dict,
+                alive: true,
+            });
+        }
+        // Fill in the parent lists.
+        let edges: Vec<(OperandId, OperandId)> = operands
+            .iter()
+            .flat_map(|o| o.children.iter().map(move |&c| (c, o.id)))
+            .collect();
+        for (child, parent) in edges {
+            operands[child.index()].parents.push(parent);
+        }
+        let mut tree = OperandTree { name: self.name, operands, state_bits: 0 };
+        tree.recompute_levels();
+        tree.validate()?;
+        Ok(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::parser::parse_bench;
+    use netlist::suite::BenchmarkSuite;
+
+    fn lib() -> CellLibrary {
+        CellLibrary::nangate45_surrogate()
+    }
+
+    fn s27_tree() -> OperandTree {
+        let nl = parse_bench("s27", netlist::embedded::S27_BENCH).unwrap();
+        OperandTree::from_netlist(&nl, &lib(), &TreeGeneratorConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn s27_clusters_into_a_small_valid_tree() {
+        let tree = s27_tree();
+        assert!(tree.len() >= 3, "a few operands expected, got {}", tree.len());
+        assert!(tree.validate().is_ok());
+        assert_eq!(tree.state_bits(), 4); // 3 FFs + 1 PO
+        assert!(tree.total_energy().value() > 0.0);
+        assert!(tree.critical_path().value() > 0.0);
+        assert!(!tree.roots().is_empty());
+        assert!(!tree.leaves().is_empty());
+    }
+
+    #[test]
+    fn every_combinational_gate_lands_in_exactly_one_operand() {
+        let nl = parse_bench("s27", netlist::embedded::S27_BENCH).unwrap();
+        let tree =
+            OperandTree::from_netlist(&nl, &lib(), &TreeGeneratorConfig::default()).unwrap();
+        let clustered: usize = tree.iter().map(|o| o.gates.len()).sum();
+        assert_eq!(clustered, nl.combinational_count());
+    }
+
+    #[test]
+    fn smaller_clusters_give_more_operands() {
+        let nl = BenchmarkSuite::diac_paper().materialize("s298").unwrap();
+        let coarse = OperandTree::from_netlist(
+            &nl,
+            &lib(),
+            &TreeGeneratorConfig { gates_per_operand: 16, activity: 0.2 },
+        )
+        .unwrap();
+        let fine = OperandTree::from_netlist(
+            &nl,
+            &lib(),
+            &TreeGeneratorConfig { gates_per_operand: 2, activity: 0.2 },
+        )
+        .unwrap();
+        assert!(fine.len() > coarse.len());
+    }
+
+    #[test]
+    fn zero_cluster_size_is_rejected() {
+        let nl = parse_bench("s27", netlist::embedded::S27_BENCH).unwrap();
+        let err = OperandTree::from_netlist(
+            &nl,
+            &lib(),
+            &TreeGeneratorConfig { gates_per_operand: 0, activity: 0.2 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, DiacError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let tree = s27_tree();
+        let order = tree.topological_order();
+        assert_eq!(order.len(), tree.len());
+        let pos: HashMap<OperandId, usize> =
+            order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for op in tree.iter() {
+            for &child in &op.children {
+                assert!(pos[&child] < pos[&op.id]);
+            }
+        }
+    }
+
+    #[test]
+    fn levels_increase_from_children_to_parents() {
+        let tree = s27_tree();
+        for op in tree.iter() {
+            for &child in &op.children {
+                assert!(tree.operand(child).dict.level < op.dict.level);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_builder_produces_the_fig2_shape() {
+        let mj = Energy::from_millijoules;
+        let ms = Seconds::from_millis;
+        let tree = OperandTree::builder("fig2")
+            .node("F1", mj(10.0), ms(1.0), &[])
+            .node("F2", mj(30.0), ms(3.0), &[])
+            .node("F5", mj(8.0), ms(1.0), &["F1", "F2"])
+            .node("F8", mj(12.0), ms(1.0), &["F5"])
+            .build()
+            .unwrap();
+        assert_eq!(tree.len(), 4);
+        assert_eq!(tree.roots(), vec![OperandId(3)]);
+        assert_eq!(tree.leaves().len(), 2);
+        assert!((tree.total_energy().as_millijoules() - 60.0).abs() < 1e-9);
+        assert_eq!(tree.max_level(), 2);
+    }
+
+    #[test]
+    fn builder_rejects_duplicates_and_unknown_children() {
+        let mj = Energy::from_millijoules;
+        let ms = Seconds::from_millis;
+        let dup = OperandTree::builder("dup")
+            .node("A", mj(1.0), ms(1.0), &[])
+            .node("A", mj(1.0), ms(1.0), &[])
+            .build();
+        assert!(matches!(dup, Err(DiacError::InvalidTree { .. })));
+        let unknown = OperandTree::builder("unk")
+            .node("A", mj(1.0), ms(1.0), &["ghost"])
+            .build();
+        assert!(matches!(unknown, Err(DiacError::InvalidTree { .. })));
+    }
+
+    #[test]
+    fn splitting_preserves_total_energy_for_explicit_nodes() {
+        let mj = Energy::from_millijoules;
+        let ms = Seconds::from_millis;
+        let mut tree = OperandTree::builder("split")
+            .node("A", mj(30.0), ms(3.0), &[])
+            .node("B", mj(5.0), ms(1.0), &["A"])
+            .build()
+            .unwrap();
+        let before = tree.total_energy();
+        let parts = tree.split_operand(OperandId(0), 3, &lib()).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(tree.len(), 4);
+        assert!(tree.validate().is_ok());
+        assert!((tree.total_energy().as_millijoules() - before.as_millijoules()).abs() < 1e-9);
+        // The chain increases the depth of the tree.
+        assert!(tree.max_level() >= 3);
+    }
+
+    #[test]
+    fn splitting_a_gate_operand_partitions_its_gates() {
+        let mut tree = s27_tree();
+        // Find an operand with enough gates.
+        let big = tree.iter().find(|o| o.gates.len() >= 4).map(|o| o.id);
+        if let Some(id) = big {
+            let total_before: usize = tree.iter().map(|o| o.gates.len()).sum();
+            let parts = tree.split_operand(id, 2, &lib()).unwrap();
+            assert_eq!(parts.len(), 2);
+            assert!(tree.validate().is_ok());
+            let total_after: usize = tree.iter().map(|o| o.gates.len()).sum();
+            assert_eq!(total_before, total_after);
+        }
+    }
+
+    #[test]
+    fn split_rejects_degenerate_requests() {
+        let mut tree = s27_tree();
+        let any = tree.iter().next().unwrap().id;
+        assert!(tree.split_operand(any, 1, &lib()).is_err());
+        let small = tree.iter().find(|o| !o.gates.is_empty()).unwrap();
+        let too_many = small.gates.len() + 5;
+        let id = small.id;
+        assert!(tree.split_operand(id, too_many, &lib()).is_err());
+    }
+
+    #[test]
+    fn merging_two_operands_reduces_the_count_and_stays_valid() {
+        let mut tree = s27_tree();
+        let before = tree.len();
+        // Merge a parent with its first child.
+        let (parent, child) = tree
+            .iter()
+            .find_map(|o| o.children.first().map(|&c| (o.id, c)))
+            .expect("tree has at least one edge");
+        let survivor = tree.merge_operands(parent, child, &lib()).unwrap();
+        assert_eq!(survivor, parent);
+        assert_eq!(tree.len(), before - 1);
+        assert!(tree.validate().is_ok());
+        assert!(tree.try_operand(child).is_none());
+    }
+
+    #[test]
+    fn merge_rejects_self_and_retired_operands() {
+        let mut tree = s27_tree();
+        let a = tree.iter().next().unwrap().id;
+        assert!(tree.merge_operands(a, a, &lib()).is_err());
+        let (parent, child) = tree
+            .iter()
+            .find_map(|o| o.children.first().map(|&c| (o.id, c)))
+            .expect("edge");
+        tree.merge_operands(parent, child, &lib()).unwrap();
+        assert!(tree.merge_operands(parent, child, &lib()).is_err());
+    }
+
+    #[test]
+    fn ascii_rendering_lists_every_operand() {
+        let tree = s27_tree();
+        let text = tree.render_ascii();
+        assert!(text.contains("level 0"));
+        for op in tree.iter() {
+            assert!(text.contains(&op.name));
+        }
+        assert!(tree.to_string().contains("operand tree"));
+    }
+
+    #[test]
+    fn large_circuit_tree_generation_scales() {
+        let nl = BenchmarkSuite::diac_paper().materialize("s526").unwrap();
+        let tree =
+            OperandTree::from_netlist(&nl, &lib(), &TreeGeneratorConfig::default()).unwrap();
+        assert!(tree.len() >= 657 / 8);
+        assert!(tree.validate().is_ok());
+    }
+}

@@ -1,0 +1,218 @@
+//! The virtual energy source: a storage capacitor.
+
+use std::fmt;
+
+use tech45::constants::{E_MAX, STORAGE_CAPACITANCE, VDD_SYSTEM};
+use tech45::units::{capacitor_energy, capacitor_voltage, Capacitance, Energy, Power, Seconds, Voltage};
+
+/// A storage capacitor that accumulates harvested energy and supplies the
+/// node's operations — the paper's "virtual energy source ... responsible for
+/// accumulating energy during power availability and deducting energy
+/// consumption".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Capacitor {
+    capacitance: Capacitance,
+    max_energy: Energy,
+    energy: Energy,
+}
+
+impl Capacitor {
+    /// Creates a capacitor of `capacitance` rated for `max_voltage`, initially
+    /// empty.
+    #[must_use]
+    pub fn new(capacitance: Capacitance, max_voltage: Voltage) -> Self {
+        let max_energy = capacitor_energy(capacitance, max_voltage);
+        Self { capacitance, max_energy, energy: Energy::ZERO }
+    }
+
+    /// The paper's storage element: 2 mF at 5 V, E_MAX = 25 mJ, initially
+    /// empty.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(STORAGE_CAPACITANCE, VDD_SYSTEM)
+    }
+
+    /// Sets the stored energy (clamped to `[0, max_energy]`) and returns the
+    /// capacitor, handy for starting a scenario from a known level.
+    #[must_use]
+    pub fn with_energy(mut self, energy: Energy) -> Self {
+        self.energy = energy.clamp(Energy::ZERO, self.max_energy);
+        self
+    }
+
+    /// Maximum storable energy (25 mJ for the paper's parameters).
+    #[must_use]
+    pub fn max_energy(&self) -> Energy {
+        self.max_energy
+    }
+
+    /// Currently stored energy.
+    #[must_use]
+    pub fn energy(&self) -> Energy {
+        self.energy
+    }
+
+    /// Current capacitor voltage.
+    #[must_use]
+    pub fn voltage(&self) -> Voltage {
+        capacitor_voltage(self.capacitance, self.energy)
+    }
+
+    /// Fraction of the capacity currently used, in `[0, 1]`.
+    #[must_use]
+    pub fn state_of_charge(&self) -> f64 {
+        if self.max_energy.is_non_positive() {
+            return 0.0;
+        }
+        self.energy.ratio(self.max_energy)
+    }
+
+    /// Whether the capacitor is at its maximum energy.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.energy >= self.max_energy
+    }
+
+    /// Whether the capacitor is completely empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.energy.is_non_positive()
+    }
+
+    /// Integrates `power` harvested over `dt`.  Energy above the capacity is
+    /// discarded (the harvester front-end clamps at V_max).  Returns the
+    /// energy actually banked.
+    pub fn harvest(&mut self, power: Power, dt: Seconds) -> Energy {
+        let incoming = power.max(Power::ZERO) * dt;
+        let headroom = self.max_energy - self.energy;
+        let banked = incoming.min(headroom).max(Energy::ZERO);
+        self.energy += banked;
+        banked
+    }
+
+    /// Attempts to draw `amount` of energy.  Returns `true` and deducts the
+    /// energy if enough is stored; returns `false` and leaves the capacitor
+    /// untouched otherwise (the operation cannot start).
+    pub fn try_consume(&mut self, amount: Energy) -> bool {
+        if amount <= self.energy {
+            self.energy -= amount;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Draws `amount` of energy, saturating at zero.  Returns the energy that
+    /// was actually drained.  This models continuous loads such as leakage,
+    /// which keep discharging the capacitor no matter how little is left.
+    pub fn drain(&mut self, amount: Energy) -> Energy {
+        let drained = amount.max(Energy::ZERO).min(self.energy);
+        self.energy -= drained;
+        drained
+    }
+
+    /// Convenience for draining a constant `power` over `dt`.
+    pub fn drain_power(&mut self, power: Power, dt: Seconds) -> Energy {
+        self.drain(power.max(Power::ZERO) * dt)
+    }
+}
+
+impl Default for Capacitor {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl fmt::Display for Capacitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "capacitor: {:.2} / {:.2} mJ ({:.0} %)",
+            self.energy.as_millijoules(),
+            self.max_energy.as_millijoules(),
+            self.state_of_charge() * 100.0
+        )
+    }
+}
+
+/// Check that the default capacitor matches the paper constant.
+#[must_use]
+pub fn paper_capacity_is(cap: &Capacitor) -> bool {
+    (cap.max_energy().as_millijoules() - E_MAX.as_millijoules()).abs() < 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_stores_25_mj() {
+        let cap = Capacitor::paper_default();
+        assert!(paper_capacity_is(&cap));
+        assert!(cap.is_empty());
+        assert_eq!(cap.voltage(), Voltage::ZERO);
+    }
+
+    #[test]
+    fn harvesting_fills_up_and_clamps() {
+        let mut cap = Capacitor::paper_default();
+        let banked = cap.harvest(Power::from_milliwatts(1.0), Seconds::new(10.0));
+        assert!((banked.as_millijoules() - 10.0).abs() < 1e-9);
+        assert!((cap.energy().as_millijoules() - 10.0).abs() < 1e-9);
+        // Harvest far more than fits: clamp at 25 mJ.
+        let banked = cap.harvest(Power::from_milliwatts(10.0), Seconds::new(10.0));
+        assert!((banked.as_millijoules() - 15.0).abs() < 1e-9);
+        assert!(cap.is_full());
+        assert!((cap.voltage().as_volts() - 5.0).abs() < 1e-9);
+        assert!((cap.state_of_charge() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_power_is_treated_as_zero() {
+        let mut cap = Capacitor::paper_default().with_energy(Energy::from_millijoules(5.0));
+        let banked = cap.harvest(Power::from_milliwatts(-3.0), Seconds::new(10.0));
+        assert_eq!(banked, Energy::ZERO);
+        assert!((cap.energy().as_millijoules() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_consume_is_all_or_nothing() {
+        let mut cap = Capacitor::paper_default().with_energy(Energy::from_millijoules(5.0));
+        assert!(cap.try_consume(Energy::from_millijoules(4.0)));
+        assert!((cap.energy().as_millijoules() - 1.0).abs() < 1e-9);
+        assert!(!cap.try_consume(Energy::from_millijoules(2.0)));
+        assert!((cap.energy().as_millijoules() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_saturates_at_zero() {
+        let mut cap = Capacitor::paper_default().with_energy(Energy::from_millijoules(1.0));
+        let drained = cap.drain(Energy::from_millijoules(3.0));
+        assert!((drained.as_millijoules() - 1.0).abs() < 1e-12);
+        assert!(cap.is_empty());
+        let drained = cap.drain(Energy::from_millijoules(1.0));
+        assert_eq!(drained, Energy::ZERO);
+    }
+
+    #[test]
+    fn drain_power_integrates_over_time() {
+        let mut cap = Capacitor::paper_default().with_energy(Energy::from_millijoules(10.0));
+        cap.drain_power(Power::from_microwatts(100.0), Seconds::new(10.0));
+        assert!((cap.energy().as_millijoules() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_energy_clamps_to_capacity() {
+        let cap = Capacitor::paper_default().with_energy(Energy::from_millijoules(99.0));
+        assert!(cap.is_full());
+        let cap = Capacitor::paper_default().with_energy(Energy::from_millijoules(-5.0));
+        assert!(cap.is_empty());
+    }
+
+    #[test]
+    fn display_shows_millijoules() {
+        let cap = Capacitor::paper_default().with_energy(Energy::from_millijoules(12.5));
+        let text = cap.to_string();
+        assert!(text.contains("12.50") && text.contains("25.00"));
+    }
+}

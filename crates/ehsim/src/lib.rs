@@ -1,0 +1,49 @@
+//! Energy-harvesting substrate for the DIAC reproduction.
+//!
+//! The paper evaluates its designs "in a power-scarce environment" by
+//! simulating an intermittent power source as "a predetermined sequence of
+//! voltage levels that cyclically repeat", accumulated in a virtual energy
+//! source (a 2 mF capacitor at 5 V storing at most 25 mJ).  This crate is
+//! that substrate:
+//!
+//! * [`capacitor`] — the virtual battery: charge integration, discharge
+//!   accounting, and voltage/energy conversions.
+//! * [`source`] — ambient harvest sources: constant, RFID-burst, solar-like,
+//!   two-state Markov, trace-driven, and piecewise schedules.
+//! * [`pmu`] — the power-management unit: the six thresholds of the paper's
+//!   FSM (Th_Se, Th_Cp, Th_Tr, Th_SafeZone, Th_Bk, Th_Off) and the operating
+//!   zone / interrupt classification derived from them.
+//! * [`trace`] — time-series recording of the simulation for the Fig. 4
+//!   reproduction.
+//! * [`schedule`] — charging-rate schedules, including the exact piecewise
+//!   schedule that recreates the six annotated scenarios of Fig. 4.
+//!
+//! # Example
+//!
+//! ```
+//! use ehsim::capacitor::Capacitor;
+//! use ehsim::pmu::{Thresholds, OperatingZone};
+//! use tech45::units::{Energy, Power, Seconds};
+//!
+//! let mut cap = Capacitor::paper_default();
+//! cap.harvest(Power::from_milliwatts(1.0), Seconds::new(10.0));
+//! assert!(cap.energy() > Energy::ZERO);
+//!
+//! let thresholds = Thresholds::paper_default();
+//! assert_eq!(thresholds.zone(cap.energy()), OperatingZone::Active);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacitor;
+pub mod pmu;
+pub mod schedule;
+pub mod source;
+pub mod trace;
+
+pub use capacitor::Capacitor;
+pub use pmu::{OperatingZone, PowerEvent, PowerManagementUnit, Thresholds};
+pub use schedule::Schedule;
+pub use source::{HarvestSource, MarkovSource, PiecewiseSource, RfidSource, SolarSource};
+pub use trace::{TraceRecorder, TraceSample};

@@ -1,0 +1,420 @@
+//! Ambient harvest sources.
+//!
+//! The paper focuses on RFID as the ambient source ("intermittent energy
+//! bursts can cause operational interruptions") and models it as "a
+//! predetermined sequence of voltage levels that cyclically repeat".  The
+//! sources here produce exactly such power-versus-time profiles; all of them
+//! are deterministic given their configuration (and seed, where randomness is
+//! involved) so that every experiment is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tech45::units::{Power, Seconds};
+
+/// A source of ambient power.
+///
+/// Implementations report the power available at an absolute simulation time;
+/// they may keep internal state (e.g. the Markov source), so querying times
+/// out of order is not supported — the simulator always advances time
+/// monotonically.
+pub trait HarvestSource {
+    /// Power delivered to the harvester front-end at time `t`.
+    fn power_at(&mut self, t: Seconds) -> Power;
+
+    /// A short human-readable description of the source.
+    fn describe(&self) -> String;
+}
+
+/// A source that always delivers the same power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantSource {
+    power: Power,
+}
+
+impl ConstantSource {
+    /// Creates a constant source.
+    #[must_use]
+    pub fn new(power: Power) -> Self {
+        Self { power }
+    }
+}
+
+impl HarvestSource for ConstantSource {
+    fn power_at(&mut self, _t: Seconds) -> Power {
+        self.power
+    }
+
+    fn describe(&self) -> String {
+        format!("constant {:.3} mW", self.power.as_milliwatts())
+    }
+}
+
+/// An RFID-reader-like source: periodic bursts of power while the tag is in
+/// the reader field, nothing in between, with optional jitter on the burst
+/// timing.
+#[derive(Debug, Clone)]
+pub struct RfidSource {
+    peak: Power,
+    period: Seconds,
+    duty_cycle: f64,
+    jitter: f64,
+    rng: StdRng,
+    cached_cycle: Option<(u64, f64, f64)>,
+}
+
+impl RfidSource {
+    /// Creates an RFID source delivering `peak` power for `duty_cycle`
+    /// (0..=1) of every `period`, with `jitter` (0..=0.5) relative timing
+    /// noise, seeded deterministically.
+    #[must_use]
+    pub fn new(peak: Power, period: Seconds, duty_cycle: f64, jitter: f64, seed: u64) -> Self {
+        Self {
+            peak,
+            period,
+            duty_cycle: duty_cycle.clamp(0.0, 1.0),
+            jitter: jitter.clamp(0.0, 0.5),
+            rng: StdRng::seed_from_u64(seed),
+            cached_cycle: None,
+        }
+    }
+
+    /// A typical reader field: 1 mW peak, 2 s period, 40 % duty cycle.
+    #[must_use]
+    pub fn typical(seed: u64) -> Self {
+        Self::new(Power::from_milliwatts(1.0), Seconds::new(2.0), 0.4, 0.1, seed)
+    }
+
+    fn cycle_window(&mut self, cycle: u64) -> (f64, f64) {
+        if let Some((cached, start, end)) = self.cached_cycle {
+            if cached == cycle {
+                return (start, end);
+            }
+        }
+        let jitter_start = if self.jitter > 0.0 {
+            self.rng.gen_range(-self.jitter..self.jitter)
+        } else {
+            0.0
+        };
+        let start = (jitter_start).clamp(0.0, 1.0 - self.duty_cycle);
+        let end = (start + self.duty_cycle).min(1.0);
+        self.cached_cycle = Some((cycle, start, end));
+        (start, end)
+    }
+}
+
+impl HarvestSource for RfidSource {
+    fn power_at(&mut self, t: Seconds) -> Power {
+        if self.period.is_non_positive() {
+            return Power::ZERO;
+        }
+        let cycles = t.as_seconds() / self.period.as_seconds();
+        let cycle = cycles.floor() as u64;
+        let phase = cycles.fract();
+        let (start, end) = self.cycle_window(cycle);
+        if phase >= start && phase < end {
+            self.peak
+        } else {
+            Power::ZERO
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "RFID bursts: {:.3} mW peak, {:.1} s period, {:.0} % duty",
+            self.peak.as_milliwatts(),
+            self.period.as_seconds(),
+            self.duty_cycle * 100.0
+        )
+    }
+}
+
+/// A slow solar-like source: a raised sinusoid over a configurable "day",
+/// with multiplicative cloud noise.
+#[derive(Debug, Clone)]
+pub struct SolarSource {
+    peak: Power,
+    day_length: Seconds,
+    cloudiness: f64,
+    rng: StdRng,
+}
+
+impl SolarSource {
+    /// Creates a solar source peaking at `peak` over a day of `day_length`,
+    /// with `cloudiness` (0..=1) noise, seeded deterministically.
+    #[must_use]
+    pub fn new(peak: Power, day_length: Seconds, cloudiness: f64, seed: u64) -> Self {
+        Self {
+            peak,
+            day_length,
+            cloudiness: cloudiness.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl HarvestSource for SolarSource {
+    fn power_at(&mut self, t: Seconds) -> Power {
+        if self.day_length.is_non_positive() {
+            return Power::ZERO;
+        }
+        let phase = (t.as_seconds() / self.day_length.as_seconds()).fract();
+        // Daylight between phase 0.25 and 0.75, zero at night.
+        let sun = (std::f64::consts::PI * (phase * 2.0 - 0.5)).sin().max(0.0);
+        let clouds = 1.0 - self.cloudiness * self.rng.gen::<f64>();
+        Power::new(self.peak.as_watts() * sun * clouds)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "solar: {:.3} mW peak over a {:.0} s day",
+            self.peak.as_milliwatts(),
+            self.day_length.as_seconds()
+        )
+    }
+}
+
+/// A two-state (on/off) Markov source with exponential dwell times — the
+/// classic abstraction of an unpredictable ambient channel.
+#[derive(Debug, Clone)]
+pub struct MarkovSource {
+    on_power: Power,
+    mean_on: Seconds,
+    mean_off: Seconds,
+    rng: StdRng,
+    state_on: bool,
+    next_switch: f64,
+    last_time: f64,
+}
+
+impl MarkovSource {
+    /// Creates a Markov source delivering `on_power` during on periods with
+    /// the given mean on/off dwell times.
+    #[must_use]
+    pub fn new(on_power: Power, mean_on: Seconds, mean_off: Seconds, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let first: f64 = rng.gen::<f64>().max(1e-9);
+        let next_switch = -mean_on.as_seconds() * first.ln();
+        Self {
+            on_power,
+            mean_on,
+            mean_off,
+            rng,
+            state_on: true,
+            next_switch,
+            last_time: 0.0,
+        }
+    }
+}
+
+impl HarvestSource for MarkovSource {
+    fn power_at(&mut self, t: Seconds) -> Power {
+        let now = t.as_seconds().max(self.last_time);
+        self.last_time = now;
+        while now >= self.next_switch {
+            self.state_on = !self.state_on;
+            let mean = if self.state_on { self.mean_on } else { self.mean_off };
+            let u: f64 = self.rng.gen::<f64>().max(1e-9);
+            self.next_switch += (-mean.as_seconds() * u.ln()).max(1e-6);
+        }
+        if self.state_on {
+            self.on_power
+        } else {
+            Power::ZERO
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "markov on/off: {:.3} mW, mean on {:.1} s / off {:.1} s",
+            self.on_power.as_milliwatts(),
+            self.mean_on.as_seconds(),
+            self.mean_off.as_seconds()
+        )
+    }
+}
+
+/// A piecewise-constant source defined by explicit `(start_time, power)`
+/// segments — the "predetermined sequence of voltage levels that cyclically
+/// repeat" of the paper.  Used to script Fig. 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseSource {
+    segments: Vec<(Seconds, Power)>,
+    cyclic: bool,
+    total: Seconds,
+}
+
+impl PiecewiseSource {
+    /// Creates a piecewise source from `(segment_start, power)` pairs.  The
+    /// pairs must be sorted by start time and begin at `t = 0`.  When
+    /// `cyclic` is true the schedule repeats after the last segment's end,
+    /// which must be provided as `total_duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty or not sorted by start time.
+    #[must_use]
+    pub fn new(segments: Vec<(Seconds, Power)>, cyclic: bool, total_duration: Seconds) -> Self {
+        assert!(!segments.is_empty(), "a piecewise source needs at least one segment");
+        assert!(
+            segments.windows(2).all(|w| w[0].0 <= w[1].0),
+            "piecewise segments must be sorted by start time"
+        );
+        Self { segments, cyclic, total: total_duration }
+    }
+
+    /// The source's total (or cycle) duration.
+    #[must_use]
+    pub fn duration(&self) -> Seconds {
+        self.total
+    }
+}
+
+impl HarvestSource for PiecewiseSource {
+    fn power_at(&mut self, t: Seconds) -> Power {
+        let mut time = t.as_seconds();
+        let total = self.total.as_seconds();
+        if self.cyclic && total > 0.0 {
+            time %= total;
+        }
+        let mut current = Power::ZERO;
+        for &(start, power) in &self.segments {
+            if time >= start.as_seconds() {
+                current = power;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "piecewise schedule: {} segments over {:.0} s{}",
+            self.segments.len(),
+            self.total.as_seconds(),
+            if self.cyclic { ", cyclic" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_source_is_constant() {
+        let mut s = ConstantSource::new(Power::from_milliwatts(2.0));
+        assert_eq!(s.power_at(Seconds::new(0.0)), s.power_at(Seconds::new(99.0)));
+        assert!(s.describe().contains("constant"));
+    }
+
+    #[test]
+    fn rfid_source_bursts_and_rests() {
+        let mut s = RfidSource::new(Power::from_milliwatts(1.0), Seconds::new(2.0), 0.5, 0.0, 1);
+        // With no jitter the first half of each period is on.
+        assert!(s.power_at(Seconds::new(0.1)).as_milliwatts() > 0.0);
+        assert_eq!(s.power_at(Seconds::new(1.9)), Power::ZERO);
+        assert!(s.power_at(Seconds::new(2.3)).as_milliwatts() > 0.0);
+    }
+
+    #[test]
+    fn rfid_average_power_tracks_duty_cycle() {
+        let mut s = RfidSource::typical(42);
+        let dt = 0.05;
+        let steps = 20_000;
+        let mut acc = 0.0;
+        for i in 0..steps {
+            acc += s.power_at(Seconds::new(i as f64 * dt)).as_milliwatts() * dt;
+        }
+        let avg = acc / (steps as f64 * dt);
+        // 1 mW peak at 40 % duty -> ~0.4 mW average.
+        assert!((avg - 0.4).abs() < 0.1, "average {avg}");
+    }
+
+    #[test]
+    fn solar_source_is_zero_at_night_and_positive_at_noon() {
+        let mut s = SolarSource::new(Power::from_milliwatts(5.0), Seconds::new(1000.0), 0.0, 3);
+        assert_eq!(s.power_at(Seconds::new(0.0)), Power::ZERO);
+        assert!(s.power_at(Seconds::new(500.0)).as_milliwatts() > 4.0);
+        assert_eq!(s.power_at(Seconds::new(999.0)), Power::ZERO);
+    }
+
+    #[test]
+    fn markov_source_visits_both_states() {
+        let mut s =
+            MarkovSource::new(Power::from_milliwatts(1.0), Seconds::new(5.0), Seconds::new(5.0), 9);
+        let mut on = 0;
+        let mut off = 0;
+        for i in 0..10_000 {
+            if s.power_at(Seconds::new(i as f64 * 0.1)).as_milliwatts() > 0.0 {
+                on += 1;
+            } else {
+                off += 1;
+            }
+        }
+        assert!(on > 1000, "on samples {on}");
+        assert!(off > 1000, "off samples {off}");
+    }
+
+    #[test]
+    fn piecewise_source_follows_its_segments() {
+        let mut s = PiecewiseSource::new(
+            vec![
+                (Seconds::new(0.0), Power::from_milliwatts(1.0)),
+                (Seconds::new(10.0), Power::ZERO),
+                (Seconds::new(20.0), Power::from_milliwatts(0.5)),
+            ],
+            false,
+            Seconds::new(30.0),
+        );
+        assert!((s.power_at(Seconds::new(5.0)).as_milliwatts() - 1.0).abs() < 1e-12);
+        assert_eq!(s.power_at(Seconds::new(15.0)), Power::ZERO);
+        assert!((s.power_at(Seconds::new(25.0)).as_milliwatts() - 0.5).abs() < 1e-12);
+        // Beyond the end a non-cyclic schedule keeps the last value.
+        assert!((s.power_at(Seconds::new(99.0)).as_milliwatts() - 0.5).abs() < 1e-12);
+        assert!((s.duration().as_seconds() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cyclic_piecewise_source_wraps_around() {
+        let mut s = PiecewiseSource::new(
+            vec![
+                (Seconds::new(0.0), Power::from_milliwatts(1.0)),
+                (Seconds::new(10.0), Power::ZERO),
+            ],
+            true,
+            Seconds::new(20.0),
+        );
+        assert!((s.power_at(Seconds::new(25.0)).as_milliwatts() - 1.0).abs() < 1e-12);
+        assert_eq!(s.power_at(Seconds::new(35.0)), Power::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_segments_are_rejected() {
+        let _ = PiecewiseSource::new(
+            vec![
+                (Seconds::new(10.0), Power::ZERO),
+                (Seconds::new(0.0), Power::from_milliwatts(1.0)),
+            ],
+            false,
+            Seconds::new(20.0),
+        );
+    }
+
+    #[test]
+    fn sources_are_deterministic_per_seed() {
+        let collect = |seed| {
+            let mut s = MarkovSource::new(
+                Power::from_milliwatts(1.0),
+                Seconds::new(3.0),
+                Seconds::new(7.0),
+                seed,
+            );
+            (0..500).map(|i| s.power_at(Seconds::new(i as f64 * 0.5)).as_watts()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(5), collect(5));
+        assert_ne!(collect(5), collect(6));
+    }
+}

@@ -1,0 +1,519 @@
+//! The intermittent-aware node FSM (Algorithm 1 of the paper).
+//!
+//! The state machine owns the node-level behaviour: it decides, every time
+//! step, whether to stay asleep, start an atomic operation (sense, compute,
+//! transmit), retreat into the safe zone, take a backup, or shut down — all
+//! driven by the `Reg_Flag` register, the six energy thresholds, and the two
+//! interrupt sources (timer and power).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ehsim::capacitor::Capacitor;
+use ehsim::pmu::Thresholds;
+use tech45::constants::{
+    E_COMPUTE, E_SENSE, E_TRANSMIT, OPERATION_UNCERTAINTY, SLEEP_LEAKAGE_W,
+};
+use tech45::units::{Energy, Power, Seconds};
+
+use crate::backup::BackupUnit;
+use crate::interrupts::TimerInterrupt;
+use crate::reg_flag::RegFlag;
+use crate::state::NodeState;
+use crate::stats::RunStats;
+
+/// Configuration of the node FSM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsmConfig {
+    /// The six energy thresholds.
+    pub thresholds: Thresholds,
+    /// Mean energy of one sense operation.
+    pub sense_energy: Energy,
+    /// Mean energy of one compute operation.
+    pub compute_energy: Energy,
+    /// Mean energy of one transmit operation.
+    pub transmit_energy: Energy,
+    /// Relative uncertainty applied to every operation's energy (±10 % in the
+    /// paper).
+    pub uncertainty: f64,
+    /// Duration of one sense operation.
+    pub sense_duration: Seconds,
+    /// Duration of one compute operation.
+    pub compute_duration: Seconds,
+    /// Duration of one transmit operation.
+    pub transmit_duration: Seconds,
+    /// Sampling interval enforced by the timer interrupt.
+    pub sampling_interval: Seconds,
+    /// Leakage drawn in every state except Off.
+    pub sleep_leakage: Power,
+    /// Probability that a completed computation requires a transmission.
+    pub transmit_probability: f64,
+    /// The backup/restore engine.
+    pub backup: BackupUnit,
+    /// Whether the `Th_SafeZone` mechanism is enabled (optimized DIAC).  When
+    /// disabled the safe zone collapses onto the backup threshold.
+    pub use_safe_zone: bool,
+    /// RNG seed (operation-energy jitter, transmit decisions).
+    pub seed: u64,
+}
+
+impl FsmConfig {
+    /// The configuration used throughout Section IV.A of the paper:
+    /// 2/4/9 mJ operations with ±10 % uncertainty, the Fig. 4 thresholds, and
+    /// the safe zone enabled.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            thresholds: Thresholds::paper_default(),
+            sense_energy: E_SENSE,
+            compute_energy: E_COMPUTE,
+            transmit_energy: E_TRANSMIT,
+            uncertainty: OPERATION_UNCERTAINTY,
+            sense_duration: Seconds::new(0.5),
+            compute_duration: Seconds::new(2.0),
+            transmit_duration: Seconds::new(1.0),
+            sampling_interval: Seconds::new(30.0),
+            sleep_leakage: Power::new(SLEEP_LEAKAGE_W),
+            transmit_probability: 1.0,
+            backup: BackupUnit::default(),
+            use_safe_zone: true,
+            seed: 0xD1AC,
+        }
+    }
+
+    /// Same configuration with the safe zone disabled (plain DIAC).
+    #[must_use]
+    pub fn without_safe_zone(mut self) -> Self {
+        self.use_safe_zone = false;
+        self.thresholds = self.thresholds.with_safe_zone_margin(Energy::ZERO);
+        self
+    }
+}
+
+impl Default for FsmConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// An atomic operation currently in flight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct InFlight {
+    remaining_energy: Energy,
+    remaining_time: Seconds,
+    total_energy: Energy,
+    total_time: Seconds,
+}
+
+/// The node state machine.
+#[derive(Debug, Clone)]
+pub struct NodeFsm {
+    config: FsmConfig,
+    state: NodeState,
+    reg_flag: RegFlag,
+    rng: StdRng,
+    timer: TimerInterrupt,
+    in_flight: Option<InFlight>,
+    /// Whether the current volatile state has been captured by a backup.
+    backed_up: bool,
+    /// Whether a restore from NVM is required before resuming.
+    needs_restore: bool,
+    /// Whether the node is currently below the safe-zone threshold.
+    in_safe_zone_dip: bool,
+    /// Whether a backup happened during the current dip.
+    backup_during_dip: bool,
+    stats: RunStats,
+}
+
+impl NodeFsm {
+    /// Creates the FSM in the Sleep state with an idle `Reg_Flag`.
+    #[must_use]
+    pub fn new(config: FsmConfig) -> Self {
+        let timer = TimerInterrupt::new(config.sampling_interval);
+        let seed = config.seed;
+        Self {
+            config,
+            state: NodeState::Sleep,
+            reg_flag: RegFlag::IDLE,
+            rng: StdRng::seed_from_u64(seed),
+            timer,
+            in_flight: None,
+            backed_up: false,
+            needs_restore: false,
+            // Start as if already inside a (handled) dip so that a node that
+            // boots with an empty capacitor does not count the initial
+            // charge-up as a safe-zone entry or recovery.
+            in_safe_zone_dip: true,
+            backup_during_dip: true,
+            stats: RunStats::default(),
+        }
+    }
+
+    /// Current node state.
+    #[must_use]
+    pub fn state(&self) -> NodeState {
+        self.state
+    }
+
+    /// Current `Reg_Flag`.
+    #[must_use]
+    pub fn reg_flag(&self) -> RegFlag {
+        self.reg_flag
+    }
+
+    /// Statistics collected so far.
+    #[must_use]
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Mutable access to the statistics (the executor adds the energy
+    /// aggregates it measures at the capacitor).
+    pub fn stats_mut(&mut self) -> &mut RunStats {
+        &mut self.stats
+    }
+
+    /// The FSM configuration.
+    #[must_use]
+    pub fn config(&self) -> &FsmConfig {
+        &self.config
+    }
+
+    /// Advances the node by `dt`, drawing from and observing `capacitor`.
+    pub fn step(&mut self, capacitor: &mut Capacitor, now: Seconds, dt: Seconds) {
+        self.stats.add_time(self.state, dt);
+
+        // Leakage is drawn in every state except Off.
+        if self.state != NodeState::Off {
+            capacitor.drain_power(self.config.sleep_leakage, dt);
+        }
+
+        // Timer interrupt: re-arm the sensing request when idle.
+        if self.timer.poll(now) && self.reg_flag.is_idle() && self.state == NodeState::Sleep {
+            self.reg_flag = RegFlag::SENSE;
+        }
+
+        let energy = capacitor.energy();
+        let th = &self.config.thresholds;
+
+        // Safe-zone bookkeeping (entries and recoveries are counted on the
+        // threshold crossings, whatever state the node is in).
+        if !self.in_safe_zone_dip && energy < th.safe_zone && self.state != NodeState::Off {
+            self.in_safe_zone_dip = true;
+            self.backup_during_dip = false;
+            self.stats.safe_zone_entries += 1;
+        } else if self.in_safe_zone_dip && energy >= th.safe_zone {
+            self.in_safe_zone_dip = false;
+            if !self.backup_during_dip {
+                self.stats.safe_zone_recoveries += 1;
+            }
+        }
+
+        // Power interrupt: below Th_Bk a backup is mandatory; below Th_Off the
+        // node dies.
+        if self.state != NodeState::Off {
+            if energy < th.off {
+                self.enter_off();
+                return;
+            }
+            if energy < th.backup && !self.backed_up && self.state != NodeState::Backup {
+                self.state = NodeState::Backup;
+            }
+        }
+
+        match self.state {
+            NodeState::Off => self.step_off(capacitor),
+            NodeState::Backup => self.step_backup(capacitor),
+            NodeState::Sleep => self.step_sleep(capacitor, now),
+            NodeState::Sense => self.step_operation(capacitor, dt, NodeState::Sense),
+            NodeState::Compute => self.step_operation(capacitor, dt, NodeState::Compute),
+            NodeState::Transmit => self.step_operation(capacitor, dt, NodeState::Transmit),
+        }
+    }
+
+    fn enter_off(&mut self) {
+        // Recovering from a complete outage is not a "free" safe-zone
+        // recovery, whatever happens to the stored energy afterwards.
+        self.backup_during_dip = true;
+        if !self.backed_up && self.in_flight.is_some() {
+            // Whatever was in flight is gone; it will be re-executed.
+            self.in_flight = None;
+            self.stats.reexecutions += 1;
+            if !self.reg_flag.is_idle() {
+                // The request itself survives only if it was backed up.
+                self.reg_flag = RegFlag::SENSE;
+            }
+        }
+        self.needs_restore = self.backed_up;
+        self.state = NodeState::Off;
+        self.stats.off_events += 1;
+    }
+
+    fn step_off(&mut self, capacitor: &mut Capacitor) {
+        // Recover once there is enough energy to do useful work again.
+        if capacitor.energy() >= self.config.thresholds.sense {
+            if self.needs_restore {
+                capacitor.drain(self.config.backup.restore_energy());
+                self.stats.restores += 1;
+                self.needs_restore = false;
+            }
+            self.backed_up = false;
+            self.state = NodeState::Sleep;
+        }
+    }
+
+    fn step_backup(&mut self, capacitor: &mut Capacitor) {
+        capacitor.drain(self.config.backup.backup_energy());
+        self.stats.backups += 1;
+        self.backed_up = true;
+        self.backup_during_dip = true;
+        self.state = NodeState::Sleep;
+    }
+
+    fn step_sleep(&mut self, capacitor: &mut Capacitor, _now: Seconds) {
+        let energy = capacitor.energy();
+        let th = &self.config.thresholds;
+        let next = match self.reg_flag {
+            RegFlag::SENSE if energy > th.sense => Some(NodeState::Sense),
+            RegFlag::COMPUTE if energy > th.compute => Some(NodeState::Compute),
+            RegFlag::TRANSMIT if energy > th.transmit => Some(NodeState::Transmit),
+            _ => None,
+        };
+        if let Some(state) = next {
+            if self.in_flight.is_none() {
+                self.in_flight = Some(self.new_operation(state));
+            }
+            self.state = state;
+        }
+    }
+
+    fn new_operation(&mut self, state: NodeState) -> InFlight {
+        let (mean_energy, duration) = match state {
+            NodeState::Sense => (self.config.sense_energy, self.config.sense_duration),
+            NodeState::Compute => (self.config.compute_energy, self.config.compute_duration),
+            NodeState::Transmit => (self.config.transmit_energy, self.config.transmit_duration),
+            _ => (Energy::ZERO, Seconds::ZERO),
+        };
+        let u = self.config.uncertainty;
+        let jitter = if u > 0.0 { 1.0 + self.rng.gen_range(-u..u) } else { 1.0 };
+        let energy = mean_energy * jitter;
+        InFlight {
+            remaining_energy: energy,
+            remaining_time: duration,
+            total_energy: energy,
+            total_time: duration,
+        }
+    }
+
+    fn step_operation(&mut self, capacitor: &mut Capacitor, dt: Seconds, state: NodeState) {
+        let th = &self.config.thresholds;
+
+        // The dashed blue arrows of Fig. 3a: keep going while the energy stays
+        // above the safe zone; otherwise retreat to Sleep (the volatile
+        // registers keep the progress).
+        if state != NodeState::Sense && capacitor.energy() <= th.safe_zone {
+            self.state = NodeState::Sleep;
+            return;
+        }
+
+        let Some(mut op) = self.in_flight else {
+            self.state = NodeState::Sleep;
+            return;
+        };
+        // Consume energy proportionally to the time simulated this step.
+        let fraction = if op.total_time.is_non_positive() {
+            1.0
+        } else {
+            (dt.as_seconds() / op.total_time.as_seconds()).min(1.0)
+        };
+        let slice = (op.total_energy * fraction).min(op.remaining_energy);
+        capacitor.drain(slice);
+        op.remaining_energy -= slice;
+        op.remaining_time -= dt;
+        // Progress has diverged from whatever was last backed up.
+        self.backed_up = false;
+
+        if op.remaining_time.is_non_positive() || op.remaining_energy.is_non_positive() {
+            self.in_flight = None;
+            match state {
+                NodeState::Sense => {
+                    self.stats.samples_sensed += 1;
+                    self.reg_flag = RegFlag::COMPUTE;
+                }
+                NodeState::Compute => {
+                    self.stats.computations_completed += 1;
+                    let transmit = self.rng.gen::<f64>() < self.config.transmit_probability;
+                    self.reg_flag = if transmit { RegFlag::TRANSMIT } else { RegFlag::IDLE };
+                }
+                NodeState::Transmit => {
+                    self.stats.transmissions_completed += 1;
+                    self.reg_flag = RegFlag::IDLE;
+                }
+                _ => {}
+            }
+            self.state = NodeState::Sleep;
+        } else {
+            self.in_flight = Some(op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_cap() -> Capacitor {
+        Capacitor::paper_default().with_energy(Energy::from_millijoules(25.0))
+    }
+
+    fn run_steps(fsm: &mut NodeFsm, cap: &mut Capacitor, steps: usize, dt: f64) {
+        for i in 0..steps {
+            fsm.step(cap, Seconds::new(i as f64 * dt), Seconds::new(dt));
+        }
+    }
+
+    #[test]
+    fn starts_asleep_and_idle() {
+        let fsm = NodeFsm::new(FsmConfig::paper_default());
+        assert_eq!(fsm.state(), NodeState::Sleep);
+        assert_eq!(fsm.reg_flag(), RegFlag::IDLE);
+    }
+
+    #[test]
+    fn with_plenty_of_energy_the_pipeline_completes() {
+        let mut config = FsmConfig::paper_default();
+        config.sampling_interval = Seconds::new(5.0);
+        let mut fsm = NodeFsm::new(config);
+        let mut cap = full_cap();
+        // Keep the capacitor topped up to isolate the FSM logic.
+        for i in 0..4000 {
+            cap.harvest(Power::from_milliwatts(10.0), Seconds::new(0.1));
+            fsm.step(&mut cap, Seconds::new(i as f64 * 0.1), Seconds::new(0.1));
+        }
+        let stats = fsm.stats();
+        assert!(stats.samples_sensed >= 2, "{stats}");
+        assert!(stats.computations_completed >= 2, "{stats}");
+        assert!(stats.transmissions_completed >= 1, "{stats}");
+        assert_eq!(stats.off_events, 0);
+    }
+
+    #[test]
+    fn sense_sets_the_compute_flag() {
+        let mut config = FsmConfig::paper_default();
+        config.sampling_interval = Seconds::new(1.0);
+        let mut fsm = NodeFsm::new(config);
+        let mut cap = full_cap();
+        run_steps(&mut fsm, &mut cap, 100, 0.1);
+        assert!(fsm.stats().samples_sensed >= 1);
+        assert!(
+            fsm.stats().computations_completed >= 1
+                || fsm.reg_flag() == RegFlag::COMPUTE
+                || fsm.state() == NodeState::Compute
+        );
+    }
+
+    #[test]
+    fn starvation_triggers_backup_then_off() {
+        let mut fsm = NodeFsm::new(FsmConfig::paper_default());
+        // Start with just a little energy and no harvest: leakage plus one
+        // sense attempt will push it below Th_Bk and then Th_Off.
+        let mut cap = Capacitor::paper_default().with_energy(Energy::from_millijoules(3.5));
+        run_steps(&mut fsm, &mut cap, 200_000, 1.0);
+        assert!(fsm.stats().backups >= 1, "{}", fsm.stats());
+        assert!(fsm.stats().off_events >= 1, "{}", fsm.stats());
+        assert_eq!(fsm.state(), NodeState::Off);
+    }
+
+    #[test]
+    fn recovery_after_off_restores_from_nvm() {
+        let mut fsm = NodeFsm::new(FsmConfig::paper_default());
+        let mut cap = Capacitor::paper_default().with_energy(Energy::from_millijoules(3.5));
+        // Drain to off...
+        run_steps(&mut fsm, &mut cap, 200_000, 1.0);
+        assert_eq!(fsm.state(), NodeState::Off);
+        let backups = fsm.stats().backups;
+        assert!(backups >= 1);
+        // ...then recharge generously.
+        for i in 0..2000 {
+            cap.harvest(Power::from_milliwatts(5.0), Seconds::new(0.1));
+            fsm.step(&mut cap, Seconds::new(20_000.0 + i as f64 * 0.1), Seconds::new(0.1));
+        }
+        assert!(fsm.stats().restores >= 1, "{}", fsm.stats());
+        assert_ne!(fsm.state(), NodeState::Off);
+    }
+
+    #[test]
+    fn safe_zone_dips_recover_without_backup_when_energy_returns() {
+        let mut config = FsmConfig::paper_default();
+        config.sampling_interval = Seconds::new(1.0);
+        // A heavier sleep load makes the dips happen within a short run.
+        config.sleep_leakage = Power::from_milliwatts(1.0);
+        let mut fsm = NodeFsm::new(config);
+        // Start in the middle of the active range.
+        let mut cap = Capacitor::paper_default().with_energy(Energy::from_millijoules(13.0));
+        // Alternate: no harvest until the node dips into the safe zone, then
+        // a strong burst to pull it back out, several times.
+        let mut t = 0.0;
+        for cycle in 0..6 {
+            for _ in 0..3000 {
+                fsm.step(&mut cap, Seconds::new(t), Seconds::new(0.1));
+                t += 0.1;
+                if cap.energy() < Energy::from_millijoules(5.0) {
+                    break;
+                }
+            }
+            for _ in 0..600 {
+                cap.harvest(Power::from_milliwatts(2.0), Seconds::new(0.1));
+                fsm.step(&mut cap, Seconds::new(t), Seconds::new(0.1));
+                t += 0.1;
+            }
+            let _ = cycle;
+        }
+        let stats = fsm.stats();
+        assert!(stats.safe_zone_entries >= 1, "{stats}");
+        assert!(stats.safe_zone_recoveries >= 1, "{stats}");
+    }
+
+    #[test]
+    fn disabling_the_safe_zone_goes_straight_to_backup() {
+        let config = FsmConfig::paper_default().without_safe_zone();
+        assert!(!config.use_safe_zone);
+        assert_eq!(config.thresholds.safe_zone, config.thresholds.backup);
+        let mut fsm = NodeFsm::new(config);
+        let mut cap = Capacitor::paper_default().with_energy(Energy::from_millijoules(10.0));
+        run_steps(&mut fsm, &mut cap, 300_000, 1.0);
+        // Every dip ends in a backup: no recoveries can be counted before one.
+        assert!(fsm.stats().backups >= 1, "{}", fsm.stats());
+        assert_eq!(fsm.stats().safe_zone_recoveries, 0, "{}", fsm.stats());
+    }
+
+    #[test]
+    fn operations_pause_when_entering_the_safe_zone_and_resume_later() {
+        let mut config = FsmConfig::paper_default();
+        config.sampling_interval = Seconds::new(1.0);
+        config.compute_energy = Energy::from_millijoules(8.0);
+        config.compute_duration = Seconds::new(10.0);
+        let mut fsm = NodeFsm::new(config);
+        let mut cap = Capacitor::paper_default().with_energy(Energy::from_millijoules(14.5));
+        // Without harvest the long computation cannot finish in one go.
+        run_steps(&mut fsm, &mut cap, 2_000, 0.1);
+        let computed_before = fsm.stats().computations_completed;
+        // Recharge and let it finish.
+        for i in 0..3_000 {
+            cap.harvest(Power::from_milliwatts(1.0), Seconds::new(0.1));
+            fsm.step(&mut cap, Seconds::new(200.0 + i as f64 * 0.1), Seconds::new(0.1));
+        }
+        assert!(fsm.stats().computations_completed >= computed_before);
+        assert!(fsm.stats().computations_completed >= 1, "{}", fsm.stats());
+    }
+
+    #[test]
+    fn paper_config_uses_the_paper_energies() {
+        let c = FsmConfig::paper_default();
+        assert!((c.sense_energy.as_millijoules() - 2.0).abs() < 1e-12);
+        assert!((c.compute_energy.as_millijoules() - 4.0).abs() < 1e-12);
+        assert!((c.transmit_energy.as_millijoules() - 9.0).abs() < 1e-12);
+        assert!((c.uncertainty - 0.10).abs() < 1e-12);
+        assert!(c.use_safe_zone);
+    }
+}

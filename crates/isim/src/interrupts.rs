@@ -1,0 +1,98 @@
+//! Interrupt sources of the node.
+//!
+//! Algorithm 1 defines two interrupt routines: the **timer interrupt**, which
+//! enforces the maximum sampling rate by re-arming `Reg_Flag` to sense when
+//! the node has been idle for one interval, and the **power interrupt**,
+//! raised by the power-management unit when the stored energy is no longer
+//! sufficient to perform any task and a backup must happen now.  The power
+//! interrupt itself is produced by [`ehsim::pmu::PowerManagementUnit`]; this
+//! module provides the timer.
+
+use tech45::units::Seconds;
+
+/// A periodic timer that fires at the node's maximum sampling rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimerInterrupt {
+    period: Seconds,
+    next_fire: Seconds,
+}
+
+impl TimerInterrupt {
+    /// Creates a timer firing every `period`, first firing one period after
+    /// time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not strictly positive.
+    #[must_use]
+    pub fn new(period: Seconds) -> Self {
+        assert!(period.value() > 0.0, "timer period must be positive");
+        Self { period, next_fire: period }
+    }
+
+    /// The timer period (the sampling interval).
+    #[must_use]
+    pub fn period(&self) -> Seconds {
+        self.period
+    }
+
+    /// Advances the timer to `now` and reports how many times it fired since
+    /// the last call.  Missed deadlines are not accumulated beyond one
+    /// pending fire (the node cannot sense faster than it wakes up), matching
+    /// the paper's remark that the sampling frequency "can be reduced
+    /// depending on the system's power".
+    pub fn poll(&mut self, now: Seconds) -> bool {
+        if now >= self.next_fire {
+            // Re-arm relative to *now* so long outages do not cause a burst
+            // of catch-up samples.
+            self.next_fire = now + self.period;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Postpones the next firing by one full period from `now` (used when the
+    /// node decides to lower its sampling rate under power scarcity).
+    pub fn defer(&mut self, now: Seconds) {
+        self.next_fire = now + self.period;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_once_per_period() {
+        let mut t = TimerInterrupt::new(Seconds::new(10.0));
+        assert!(!t.poll(Seconds::new(5.0)));
+        assert!(t.poll(Seconds::new(10.0)));
+        assert!(!t.poll(Seconds::new(12.0)));
+        assert!(t.poll(Seconds::new(20.5)));
+        assert!((t.period().as_seconds() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_outages_do_not_burst() {
+        let mut t = TimerInterrupt::new(Seconds::new(1.0));
+        assert!(t.poll(Seconds::new(100.0)));
+        // Only one fire despite 100 missed periods.
+        assert!(!t.poll(Seconds::new(100.5)));
+        assert!(t.poll(Seconds::new(101.0)));
+    }
+
+    #[test]
+    fn defer_pushes_the_next_fire_out() {
+        let mut t = TimerInterrupt::new(Seconds::new(10.0));
+        t.defer(Seconds::new(95.0));
+        assert!(!t.poll(Seconds::new(100.0)));
+        assert!(t.poll(Seconds::new(105.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_is_rejected() {
+        let _ = TimerInterrupt::new(Seconds::ZERO);
+    }
+}

@@ -1,0 +1,111 @@
+//! The `Reg_Flag` register of Algorithm 1.
+//!
+//! A three-bit one-hot flag selects which operation the node should perform
+//! next once enough energy is available: `0b100` = sense, `0b010` = compute,
+//! `0b001` = transmit, `0b000` = idle.  The flag is part of the state that
+//! the backup routine always preserves.
+
+use std::fmt;
+
+/// The three-bit `Reg_Flag` register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegFlag(u8);
+
+impl RegFlag {
+    /// Idle: no operation pending (`0b000`).
+    pub const IDLE: RegFlag = RegFlag(0b000);
+    /// Sense pending (`0b100`).
+    pub const SENSE: RegFlag = RegFlag(0b100);
+    /// Compute pending (`0b010`).
+    pub const COMPUTE: RegFlag = RegFlag(0b010);
+    /// Transmit pending (`0b001`).
+    pub const TRANSMIT: RegFlag = RegFlag(0b001);
+
+    /// Creates a flag from its raw encoding, masking to three bits.
+    ///
+    /// Returns `None` if more than one bit is set (the flag is one-hot).
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Option<Self> {
+        let bits = bits & 0b111;
+        if bits.count_ones() <= 1 {
+            Some(Self(bits))
+        } else {
+            None
+        }
+    }
+
+    /// The raw three-bit encoding.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether no operation is pending.
+    #[must_use]
+    pub fn is_idle(self) -> bool {
+        self == Self::IDLE
+    }
+
+    /// The flag requested after this operation completes, following the
+    /// sense → compute → transmit → idle progression of the FSM.
+    #[must_use]
+    pub fn next(self) -> Self {
+        match self {
+            Self::SENSE => Self::COMPUTE,
+            Self::COMPUTE => Self::TRANSMIT,
+            _ => Self::IDLE,
+        }
+    }
+}
+
+impl fmt::Display for RegFlag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0b{:03b}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodings_match_the_paper() {
+        assert_eq!(RegFlag::SENSE.bits(), 0b100);
+        assert_eq!(RegFlag::COMPUTE.bits(), 0b010);
+        assert_eq!(RegFlag::TRANSMIT.bits(), 0b001);
+        assert_eq!(RegFlag::IDLE.bits(), 0b000);
+        assert_eq!(RegFlag::default(), RegFlag::IDLE);
+    }
+
+    #[test]
+    fn from_bits_accepts_one_hot_only() {
+        assert_eq!(RegFlag::from_bits(0b100), Some(RegFlag::SENSE));
+        assert_eq!(RegFlag::from_bits(0b010), Some(RegFlag::COMPUTE));
+        assert_eq!(RegFlag::from_bits(0b001), Some(RegFlag::TRANSMIT));
+        assert_eq!(RegFlag::from_bits(0b000), Some(RegFlag::IDLE));
+        assert_eq!(RegFlag::from_bits(0b110), None);
+        assert_eq!(RegFlag::from_bits(0b111), None);
+        // Upper bits are masked away.
+        assert_eq!(RegFlag::from_bits(0b1000_0100), Some(RegFlag::SENSE));
+    }
+
+    #[test]
+    fn progression_follows_the_fsm() {
+        assert_eq!(RegFlag::SENSE.next(), RegFlag::COMPUTE);
+        assert_eq!(RegFlag::COMPUTE.next(), RegFlag::TRANSMIT);
+        assert_eq!(RegFlag::TRANSMIT.next(), RegFlag::IDLE);
+        assert_eq!(RegFlag::IDLE.next(), RegFlag::IDLE);
+    }
+
+    #[test]
+    fn display_is_binary() {
+        assert_eq!(RegFlag::SENSE.to_string(), "0b100");
+        assert_eq!(RegFlag::IDLE.to_string(), "0b000");
+    }
+
+    #[test]
+    fn idle_detection() {
+        assert!(RegFlag::IDLE.is_idle());
+        assert!(!RegFlag::COMPUTE.is_idle());
+    }
+}

@@ -1,0 +1,182 @@
+//! Run statistics of an intermittent execution.
+
+use std::fmt;
+
+use diac_core::pdp::IntermittencyProfile;
+use tech45::units::{Energy, Power, Seconds};
+
+use crate::state::NodeState;
+
+/// Counters and aggregates collected over one simulated run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunStats {
+    /// Completed sense operations.
+    pub samples_sensed: u64,
+    /// Completed compute operations.
+    pub computations_completed: u64,
+    /// Completed transmit operations.
+    pub transmissions_completed: u64,
+    /// NVM backups taken.
+    pub backups: u64,
+    /// Restores from NVM after complete power losses.
+    pub restores: u64,
+    /// Complete power losses (energy below `Th_Off`).
+    pub off_events: u64,
+    /// Times the stored energy dipped below `Th_SafeZone` while active.
+    pub safe_zone_entries: u64,
+    /// Safe-zone dips that recovered without needing a backup.
+    pub safe_zone_recoveries: u64,
+    /// Operations whose progress was lost and had to be re-executed.
+    pub reexecutions: u64,
+    /// Total energy banked into the capacitor.
+    pub energy_harvested: Energy,
+    /// Total energy drawn from the capacitor.
+    pub energy_consumed: Energy,
+    /// Wall-clock time spent in each node state.
+    pub time_in_state: [Seconds; 6],
+    /// Total simulated time.
+    pub total_time: Seconds,
+}
+
+impl RunStats {
+    /// Time spent in one state.
+    #[must_use]
+    pub fn time_in(&self, state: NodeState) -> Seconds {
+        self.time_in_state[state_index(state)]
+    }
+
+    /// Adds `dt` to the time spent in `state`.
+    pub fn add_time(&mut self, state: NodeState, dt: Seconds) {
+        self.time_in_state[state_index(state)] += dt;
+        self.total_time += dt;
+    }
+
+    /// Fraction of the simulated time the node was actively sensing,
+    /// computing, or transmitting.
+    #[must_use]
+    pub fn active_fraction(&self) -> f64 {
+        if self.total_time.is_non_positive() {
+            return 0.0;
+        }
+        let active = self.time_in(NodeState::Sense)
+            + self.time_in(NodeState::Compute)
+            + self.time_in(NodeState::Transmit);
+        active.as_seconds() / self.total_time.as_seconds()
+    }
+
+    /// Forward progress: the number of fully completed
+    /// sense-compute(-transmit) pipelines, bounded by the slowest stage.
+    #[must_use]
+    pub fn completed_tasks(&self) -> u64 {
+        self.samples_sensed.min(self.computations_completed)
+    }
+
+    /// Average harvested power over the run.
+    #[must_use]
+    pub fn average_harvest_power(&self) -> Power {
+        if self.total_time.is_non_positive() {
+            return Power::ZERO;
+        }
+        self.energy_harvested / self.total_time
+    }
+
+    /// Converts the observed event counts into the analytic intermittency
+    /// profile consumed by the PDP model of `diac-core`.
+    #[must_use]
+    pub fn intermittency_profile(&self) -> IntermittencyProfile {
+        let emergencies = self.safe_zone_entries.max(self.backups);
+        IntermittencyProfile::from_counts(
+            emergencies,
+            self.safe_zone_recoveries,
+            self.off_events,
+            self.energy_consumed,
+            self.average_harvest_power().max(Power::from_nanowatts(1.0)),
+        )
+    }
+}
+
+fn state_index(state: NodeState) -> usize {
+    NodeState::ALL.iter().position(|&s| s == state).expect("state is in ALL")
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sensed {}, computed {}, transmitted {}, backups {}, restores {}, off {}, safe-zone {} ({} recovered)",
+            self.samples_sensed,
+            self.computations_completed,
+            self.transmissions_completed,
+            self.backups,
+            self.restores,
+            self.off_events,
+            self.safe_zone_entries,
+            self.safe_zone_recoveries
+        )?;
+        write!(
+            f,
+            "harvested {:.1} mJ, consumed {:.1} mJ, active {:.1} % of {:.0} s",
+            self.energy_harvested.as_millijoules(),
+            self.energy_consumed.as_millijoules(),
+            self.active_fraction() * 100.0,
+            self.total_time.as_seconds()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_accounting_adds_up() {
+        let mut stats = RunStats::default();
+        stats.add_time(NodeState::Sleep, Seconds::new(5.0));
+        stats.add_time(NodeState::Compute, Seconds::new(3.0));
+        stats.add_time(NodeState::Compute, Seconds::new(2.0));
+        assert!((stats.total_time.as_seconds() - 10.0).abs() < 1e-12);
+        assert!((stats.time_in(NodeState::Compute).as_seconds() - 5.0).abs() < 1e-12);
+        assert!((stats.active_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_fractions() {
+        let stats = RunStats::default();
+        assert_eq!(stats.active_fraction(), 0.0);
+        assert_eq!(stats.average_harvest_power(), Power::ZERO);
+        assert_eq!(stats.completed_tasks(), 0);
+    }
+
+    #[test]
+    fn completed_tasks_is_bounded_by_the_slowest_stage() {
+        let stats = RunStats { samples_sensed: 10, computations_completed: 7, ..RunStats::default() };
+        assert_eq!(stats.completed_tasks(), 7);
+    }
+
+    #[test]
+    fn profile_conversion_uses_the_observed_ratios() {
+        let stats = RunStats {
+            safe_zone_entries: 10,
+            safe_zone_recoveries: 4,
+            backups: 6,
+            off_events: 3,
+            energy_consumed: Energy::from_millijoules(120.0),
+            energy_harvested: Energy::from_millijoules(130.0),
+            total_time: Seconds::new(1000.0),
+            ..RunStats::default()
+        };
+        let profile = stats.intermittency_profile();
+        assert!(profile.is_valid());
+        assert!((profile.safe_zone_recovery_fraction - 0.4).abs() < 1e-9);
+        assert!((profile.power_loss_fraction - 0.5).abs() < 1e-9);
+        assert!((profile.usable_energy_per_cycle.as_millijoules() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_summarises_the_run() {
+        let stats = RunStats { samples_sensed: 3, ..RunStats::default() };
+        let text = stats.to_string();
+        assert!(text.contains("sensed 3"));
+        assert!(text.contains("harvested"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Transitive fan-in / fan-out cone extraction.
+//!
+//! DIAC's replacement criteria reason about "a cone of nodes with a total
+//! higher power consumption": inserting one NVM boundary at the apex of a
+//! cone protects all the work done inside it.  These helpers compute such
+//! cones on the raw netlist.
+
+use std::collections::HashSet;
+
+use crate::gate::{GateId, GateKind};
+use crate::netlist::Netlist;
+
+/// The transitive fan-in cone of `root`: every gate whose value can influence
+/// `root`, stopping at sources (primary inputs, constants, flip-flop
+/// outputs).  The root itself is included.
+#[must_use]
+pub fn fanin_cone(netlist: &Netlist, root: GateId) -> Vec<GateId> {
+    let mut seen: HashSet<GateId> = HashSet::new();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        let gate = netlist.gate(id);
+        if gate.kind.is_source() && id != root {
+            continue;
+        }
+        if gate.kind.is_source() {
+            continue;
+        }
+        for &f in &gate.fanin {
+            if !netlist.gate(f).kind.is_source() {
+                stack.push(f);
+            } else {
+                seen.insert(f);
+            }
+        }
+    }
+    let mut cone: Vec<GateId> = seen.into_iter().collect();
+    cone.sort_unstable();
+    cone
+}
+
+/// The transitive fan-out cone of `root`: every gate that can observe a
+/// change of `root`, stopping at flip-flop D-inputs.  The root itself is
+/// included.
+#[must_use]
+pub fn fanout_cone(netlist: &Netlist, root: GateId) -> Vec<GateId> {
+    let fanouts = netlist.fanouts();
+    let mut seen: HashSet<GateId> = HashSet::new();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        for &reader in &fanouts[id.index()] {
+            if netlist.gate(reader).kind == GateKind::Dff {
+                seen.insert(reader);
+                continue;
+            }
+            stack.push(reader);
+        }
+    }
+    let mut cone: Vec<GateId> = seen.into_iter().collect();
+    cone.sort_unstable();
+    cone
+}
+
+/// The logic cone feeding one flip-flop or primary output, excluding sources.
+/// This is the natural clustering unit used by the NV-Clustering baseline.
+#[must_use]
+pub fn register_cone(netlist: &Netlist, state_element: GateId) -> Vec<GateId> {
+    let gate = netlist.gate(state_element);
+    let mut result: HashSet<GateId> = HashSet::new();
+    let roots: Vec<GateId> = if gate.kind == GateKind::Dff {
+        gate.fanin.clone()
+    } else {
+        vec![state_element]
+    };
+    for root in roots {
+        for id in fanin_cone(netlist, root) {
+            if netlist.gate(id).kind.is_combinational() {
+                result.insert(id);
+            }
+        }
+    }
+    let mut cone: Vec<GateId> = result.into_iter().collect();
+    cone.sort_unstable();
+    cone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_bench;
+
+    fn s27() -> Netlist {
+        parse_bench("s27", crate::embedded::S27_BENCH).unwrap()
+    }
+
+    #[test]
+    fn fanin_cone_contains_the_root() {
+        let nl = s27();
+        let g9 = nl.find("G9").unwrap();
+        let cone = fanin_cone(&nl, g9);
+        assert!(cone.contains(&g9));
+        assert!(cone.len() > 1, "G9 depends on several gates");
+    }
+
+    #[test]
+    fn fanin_cone_of_a_source_is_itself() {
+        let nl = s27();
+        let g0 = nl.find("G0").unwrap();
+        assert_eq!(fanin_cone(&nl, g0), vec![g0]);
+    }
+
+    #[test]
+    fn fanout_cone_reaches_outputs() {
+        let nl = s27();
+        let g11 = nl.find("G11").unwrap();
+        let g17 = nl.find("G17").unwrap();
+        let cone = fanout_cone(&nl, g11);
+        assert!(cone.contains(&g17), "G17 = NOT(G11) must be in G11's fan-out cone");
+    }
+
+    #[test]
+    fn fanout_cone_stops_at_flip_flops() {
+        let nl = s27();
+        let g10 = nl.find("G10").unwrap();
+        let g5 = nl.find("G5").unwrap(); // G5 = DFF(G10)
+        let cone = fanout_cone(&nl, g10);
+        assert!(cone.contains(&g5));
+        // The cone must not "pass through" the DFF: G5 feeds G11's cone only
+        // in the next cycle.  G8 = AND(G14, G6) is unreachable from G10
+        // without going through a flip-flop.
+        let g8 = nl.find("G8").unwrap();
+        assert!(!cone.contains(&g8));
+    }
+
+    #[test]
+    fn register_cone_is_purely_combinational() {
+        let nl = s27();
+        for &ff in nl.flip_flops() {
+            let cone = register_cone(&nl, ff);
+            assert!(!cone.is_empty());
+            for id in cone {
+                assert!(nl.gate(id).kind.is_combinational());
+            }
+        }
+    }
+
+    #[test]
+    fn register_cones_cover_every_combinational_gate_of_s27() {
+        // In s27 every combinational gate feeds some FF or the primary output,
+        // so the union of register cones must cover all of them.
+        let nl = s27();
+        let mut covered: std::collections::HashSet<GateId> = std::collections::HashSet::new();
+        for &ff in nl.flip_flops() {
+            covered.extend(register_cone(&nl, ff));
+        }
+        for &po in nl.primary_outputs() {
+            covered.extend(register_cone(&nl, po));
+        }
+        let comb: Vec<_> = nl.iter().filter(|g| g.kind.is_combinational()).map(|g| g.id).collect();
+        for id in comb {
+            assert!(covered.contains(&id), "{} not covered", nl.gate(id).name);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Benchmark circuits embedded as `.bench` text.
+//!
+//! Only the smallest ISCAS-89 circuit, `s27`, is embedded verbatim (it is the
+//! worked example used throughout the paper's validation section and in our
+//! tests).  The remaining circuits of the evaluation are *reconstructed* by
+//! the deterministic synthetic generator in [`crate::synth`] from their
+//! published structural parameters — see `DESIGN.md` for the substitution
+//! rationale.
+
+/// ISCAS-89 `s27`: 4 primary inputs, 1 primary output, 3 flip-flops and 10
+/// combinational gates.
+pub const S27_BENCH: &str = r"# ISCAS-89 benchmark s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+";
+
+/// A tiny 8-input, 1-output arithmetic-flavoured design mirroring the
+/// example of Fig. 2 in the paper (operands F1–F8 reduced towards a single
+/// output).  It is used by the Fig. 2 reproduction and by tests that need a
+/// small combinational-only design.
+pub const FIG2_EXAMPLE_BENCH: &str = r"# 8-input / 1-output example used in Fig. 2
+INPUT(I0)
+INPUT(I1)
+INPUT(I2)
+INPUT(I3)
+INPUT(I4)
+INPUT(I5)
+INPUT(I6)
+INPUT(I7)
+OUTPUT(F8)
+F1 = AND(I0, I1)
+F2 = XOR(I2, I3)
+F2B = XOR(F2, I2)
+F3 = OR(I4, I5)
+F4 = NAND(I6, I7)
+F5 = AND(F1, F2B)
+F6 = OR(F3, F4)
+F7 = XOR(F5, F6)
+F8 = NAND(F7, F5)
+";
+
+/// Names of the circuits that are embedded verbatim.
+pub const EMBEDDED_CIRCUITS: &[(&str, &str)] =
+    &[("s27", S27_BENCH), ("fig2_example", FIG2_EXAMPLE_BENCH)];
+
+/// Looks up an embedded circuit by name.
+#[must_use]
+pub fn embedded_bench(name: &str) -> Option<&'static str> {
+    EMBEDDED_CIRCUITS.iter().find(|(n, _)| *n == name).map(|(_, text)| *text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_bench;
+
+    #[test]
+    fn all_embedded_circuits_parse() {
+        for (name, text) in EMBEDDED_CIRCUITS {
+            let nl = parse_bench(name, text).unwrap();
+            assert!(nl.gate_count() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn s27_has_the_documented_shape() {
+        let nl = parse_bench("s27", S27_BENCH).unwrap();
+        assert_eq!(nl.primary_inputs().len(), 4);
+        assert_eq!(nl.primary_outputs().len(), 1);
+        assert_eq!(nl.flip_flop_count(), 3);
+        assert_eq!(nl.combinational_count(), 10);
+    }
+
+    #[test]
+    fn fig2_example_is_combinational_with_8_inputs() {
+        let nl = parse_bench("fig2", FIG2_EXAMPLE_BENCH).unwrap();
+        assert_eq!(nl.primary_inputs().len(), 8);
+        assert_eq!(nl.primary_outputs().len(), 1);
+        assert_eq!(nl.flip_flop_count(), 0);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(embedded_bench("s27").is_some());
+        assert!(embedded_bench("fig2_example").is_some());
+        assert!(embedded_bench("does_not_exist").is_none());
+    }
+}

@@ -1,0 +1,127 @@
+//! Error type shared by the netlist crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, parsing, or analysing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate name was defined more than once.
+    DuplicateGate {
+        /// The offending gate name.
+        name: String,
+    },
+    /// A gate references a signal that is never defined.
+    UndefinedSignal {
+        /// The missing signal name.
+        name: String,
+        /// The gate (or output) that references it.
+        referenced_by: String,
+    },
+    /// A gate has the wrong number of fan-in connections for its kind.
+    ArityMismatch {
+        /// The offending gate name.
+        gate: String,
+        /// What the gate kind requires.
+        expected: String,
+        /// How many fan-ins were provided.
+        found: usize,
+    },
+    /// The combinational part of the netlist contains a cycle.
+    CombinationalCycle {
+        /// A gate that participates in the cycle.
+        gate: String,
+    },
+    /// A line of an input file could not be parsed.
+    ParseLine {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of what went wrong.
+        message: String,
+    },
+    /// The netlist is empty or missing mandatory sections.
+    EmptyNetlist,
+    /// A benchmark circuit name is not in the registry.
+    UnknownCircuit {
+        /// The requested circuit name.
+        name: String,
+    },
+    /// A synthetic-generator configuration is infeasible.
+    InvalidSynthesisConfig {
+        /// Explanation of the inconsistency.
+        message: String,
+    },
+    /// An analysis does not support a particular gate kind.
+    UnsupportedGate {
+        /// The offending gate name.
+        gate: String,
+        /// Why the gate cannot be handled.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateGate { name } => {
+                write!(f, "gate `{name}` is defined more than once")
+            }
+            NetlistError::UndefinedSignal { name, referenced_by } => {
+                write!(f, "signal `{name}` referenced by `{referenced_by}` is never defined")
+            }
+            NetlistError::ArityMismatch { gate, expected, found } => {
+                write!(f, "gate `{gate}` expects {expected} fan-ins but has {found}")
+            }
+            NetlistError::CombinationalCycle { gate } => {
+                write!(f, "combinational cycle through gate `{gate}`")
+            }
+            NetlistError::ParseLine { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            NetlistError::EmptyNetlist => write!(f, "netlist contains no gates"),
+            NetlistError::UnknownCircuit { name } => {
+                write!(f, "benchmark circuit `{name}` is not in the registry")
+            }
+            NetlistError::InvalidSynthesisConfig { message } => {
+                write!(f, "invalid synthetic circuit configuration: {message}")
+            }
+            NetlistError::UnsupportedGate { gate, reason } => {
+                write!(f, "gate `{gate}` is not supported here: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let errors = [
+            NetlistError::DuplicateGate { name: "g1".into() },
+            NetlistError::UndefinedSignal { name: "x".into(), referenced_by: "g2".into() },
+            NetlistError::ArityMismatch { gate: "g3".into(), expected: "2".into(), found: 3 },
+            NetlistError::CombinationalCycle { gate: "g4".into() },
+            NetlistError::ParseLine { line: 7, message: "bad token".into() },
+            NetlistError::EmptyNetlist,
+            NetlistError::UnknownCircuit { name: "s0".into() },
+            NetlistError::InvalidSynthesisConfig { message: "depth > gates".into() },
+            NetlistError::UnsupportedGate { gate: "g5".into(), reason: "LUT".into() },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<NetlistError>();
+    }
+}

@@ -1,0 +1,251 @@
+//! Berkeley BLIF subset parser.
+//!
+//! Supports the constructs found in the MCNC benchmark distributions:
+//! `.model`, `.inputs`, `.outputs`, `.names` (logic covers), `.latch`, and
+//! `.end`.  Continuation lines ending in `\` are folded.  Each `.names` block
+//! becomes a [`GateKind::Lut`] gate (the cover itself is not interpreted —
+//! DIAC only needs structural and cost information); single-input covers that
+//! are plainly an inverter or a buffer are recognised as such.
+
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NetlistBuilder};
+
+/// Parses a BLIF description into a [`Netlist`].
+///
+/// If the file declares a `.model` name it overrides the `fallback_name`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::ParseLine`] for malformed directives and the
+/// structural errors from [`NetlistBuilder::finish`].
+pub fn parse_blif(fallback_name: &str, text: &str) -> Result<Netlist, NetlistError> {
+    let folded = fold_continuations(text);
+    let mut builder: Option<NetlistBuilder> = None;
+    let mut model_name = fallback_name.to_string();
+    let mut pending_cover: Option<PendingNames> = None;
+
+    for (lineno, raw) in folded.iter() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = *lineno;
+        if let Some(rest) = line.strip_prefix('.') {
+            // A directive terminates any `.names` cover in progress.
+            if let Some(cover) = pending_cover.take() {
+                commit_cover(builder.get_or_insert_with(|| NetlistBuilder::new(&model_name)), cover)?;
+            }
+            let mut parts = rest.split_whitespace();
+            let directive = parts.next().unwrap_or_default();
+            let args: Vec<&str> = parts.collect();
+            match directive {
+                "model" => {
+                    if let Some(name) = args.first() {
+                        model_name = (*name).to_string();
+                    }
+                    builder = Some(NetlistBuilder::new(&model_name));
+                }
+                "inputs" => {
+                    let b = builder.get_or_insert_with(|| NetlistBuilder::new(&model_name));
+                    for arg in &args {
+                        b.add_input(*arg);
+                    }
+                }
+                "outputs" => {
+                    let b = builder.get_or_insert_with(|| NetlistBuilder::new(&model_name));
+                    for arg in &args {
+                        b.mark_output_name(*arg);
+                    }
+                }
+                "names" => {
+                    if args.is_empty() {
+                        return Err(NetlistError::ParseLine {
+                            line: lineno,
+                            message: ".names needs at least an output signal".to_string(),
+                        });
+                    }
+                    let output = args[args.len() - 1].to_string();
+                    let inputs: Vec<String> =
+                        args[..args.len() - 1].iter().map(|s| (*s).to_string()).collect();
+                    pending_cover = Some(PendingNames { output, inputs, cover_rows: Vec::new() });
+                }
+                "latch" => {
+                    if args.len() < 2 {
+                        return Err(NetlistError::ParseLine {
+                            line: lineno,
+                            message: ".latch needs an input and an output signal".to_string(),
+                        });
+                    }
+                    let b = builder.get_or_insert_with(|| NetlistBuilder::new(&model_name));
+                    b.add_gate_by_names(args[1], GateKind::Dff, vec![args[0].to_string()])?;
+                }
+                "end" => break,
+                // Common but irrelevant directives are accepted and ignored.
+                "clock" | "default_input_arrival" | "wire_load_slope" | "gate" | "area"
+                | "delay" | "input_arrival" => {}
+                other => {
+                    return Err(NetlistError::ParseLine {
+                        line: lineno,
+                        message: format!("unsupported BLIF directive `.{other}`"),
+                    })
+                }
+            }
+        } else if let Some(cover) = pending_cover.as_mut() {
+            cover.cover_rows.push(line.to_string());
+        } else {
+            return Err(NetlistError::ParseLine {
+                line: lineno,
+                message: format!("unexpected line outside any directive: `{line}`"),
+            });
+        }
+    }
+
+    let mut builder = builder.ok_or(NetlistError::EmptyNetlist)?;
+    if let Some(cover) = pending_cover.take() {
+        commit_cover(&mut builder, cover)?;
+    }
+    builder.finish()
+}
+
+struct PendingNames {
+    output: String,
+    inputs: Vec<String>,
+    cover_rows: Vec<String>,
+}
+
+fn commit_cover(builder: &mut NetlistBuilder, cover: PendingNames) -> Result<(), NetlistError> {
+    let PendingNames { output, inputs, cover_rows } = cover;
+    if inputs.is_empty() {
+        // Constant driver: `.names out` followed by `1` (const 1) or nothing (const 0).
+        let is_one = cover_rows.iter().any(|r| r.trim() == "1");
+        let kind = if is_one { GateKind::Const1 } else { GateKind::Const0 };
+        builder.add_gate_by_names(output, kind, Vec::new())?;
+        return Ok(());
+    }
+    if inputs.len() == 1 {
+        // Recognise buffers (`1 1`) and inverters (`0 1`).
+        let inverted = cover_rows.iter().any(|r| r.trim_start().starts_with('0'));
+        let kind = if inverted { GateKind::Not } else { GateKind::Buf };
+        builder.add_gate_by_names(output, kind, inputs)?;
+        return Ok(());
+    }
+    builder.add_gate_by_names(output, GateKind::Lut, inputs)?;
+    Ok(())
+}
+
+/// Folds `\`-continued lines, keeping 1-based line numbers of the first line.
+fn fold_continuations(text: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let (continues, content) = match line.trim_end().strip_suffix('\\') {
+            Some(stripped) => (true, stripped.to_string()),
+            None => (false, line.to_string()),
+        };
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(&content);
+                if continues {
+                    pending = Some((start, acc));
+                } else {
+                    out.push((start, acc));
+                }
+            }
+            None => {
+                if continues {
+                    pending = Some((lineno, content));
+                } else {
+                    out.push((lineno, content));
+                }
+            }
+        }
+    }
+    if let Some(p) = pending {
+        out.push(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOY_BLIF: &str = r"
+.model toy
+.inputs a b c
+.outputs f
+.names a b t1
+11 1
+.names t1 c f
+1- 1
+-1 1
+.end
+";
+
+    #[test]
+    fn parses_a_small_model() {
+        let nl = parse_blif("fallback", TOY_BLIF).unwrap();
+        assert_eq!(nl.name(), "toy");
+        assert_eq!(nl.primary_inputs().len(), 3);
+        assert_eq!(nl.primary_outputs().len(), 1);
+        assert_eq!(nl.combinational_count(), 2);
+    }
+
+    #[test]
+    fn latches_become_dffs() {
+        let text = ".model seq\n.inputs d\n.outputs q\n.latch d q re clk 0\n.end\n";
+        let nl = parse_blif("x", text).unwrap();
+        assert_eq!(nl.flip_flop_count(), 1);
+    }
+
+    #[test]
+    fn single_input_covers_become_buf_or_not() {
+        let text = ".model inv\n.inputs a\n.outputs y z\n.names a y\n0 1\n.names a z\n1 1\n.end\n";
+        let nl = parse_blif("x", text).unwrap();
+        assert_eq!(nl.gate(nl.find("y").unwrap()).kind, GateKind::Not);
+        assert_eq!(nl.gate(nl.find("z").unwrap()).kind, GateKind::Buf);
+    }
+
+    #[test]
+    fn constant_covers_are_recognised() {
+        let text = ".model k\n.inputs a\n.outputs c1 c0 g\n.names c1\n1\n.names c0\n.names a c1 c0 g\n111 1\n.end\n";
+        let nl = parse_blif("x", text).unwrap();
+        assert_eq!(nl.gate(nl.find("c1").unwrap()).kind, GateKind::Const1);
+        assert_eq!(nl.gate(nl.find("c0").unwrap()).kind, GateKind::Const0);
+        assert_eq!(nl.gate(nl.find("g").unwrap()).kind, GateKind::Lut);
+    }
+
+    #[test]
+    fn continuation_lines_are_folded() {
+        let text = ".model c\n.inputs a b \\\n c\n.outputs f\n.names a b c f\n111 1\n.end\n";
+        let nl = parse_blif("x", text).unwrap();
+        assert_eq!(nl.primary_inputs().len(), 3);
+    }
+
+    #[test]
+    fn unknown_directive_is_an_error() {
+        let err = parse_blif("x", ".model m\n.frobnicate\n.end\n").unwrap_err();
+        assert!(matches!(err, NetlistError::ParseLine { .. }));
+    }
+
+    #[test]
+    fn stray_cover_line_is_an_error() {
+        let err = parse_blif("x", ".model m\n.inputs a\n11 1\n.end\n").unwrap_err();
+        assert!(matches!(err, NetlistError::ParseLine { .. }));
+    }
+
+    #[test]
+    fn missing_model_is_empty() {
+        assert!(matches!(parse_blif("x", "# nothing\n"), Err(NetlistError::EmptyNetlist)));
+    }
+
+    #[test]
+    fn model_name_falls_back_when_absent() {
+        let text = ".inputs a\n.outputs y\n.names a y\n1 1\n.end\n";
+        let nl = parse_blif("fallback", text).unwrap();
+        assert_eq!(nl.name(), "fallback");
+    }
+}

@@ -1,0 +1,16 @@
+//! Netlist front-ends.
+//!
+//! Two text formats are supported, covering how the paper's benchmark suites
+//! are distributed:
+//!
+//! * [`parse_bench`] — the ISCAS-89 `.bench` format (`INPUT(..)`,
+//!   `OUTPUT(..)`, `g = NAND(a, b)`, `q = DFF(d)`),
+//! * [`parse_blif`] — a practical subset of Berkeley BLIF (`.model`,
+//!   `.inputs`, `.outputs`, `.names`, `.latch`, `.end`), which is the common
+//!   interchange format for the MCNC benchmarks.
+
+mod bench;
+mod blif;
+
+pub use bench::parse_bench;
+pub use blif::parse_blif;

@@ -1,0 +1,324 @@
+//! Two-valued functional simulation of a netlist.
+//!
+//! The simulator evaluates the combinational logic level by level and
+//! computes the next flip-flop state from the D inputs — enough to validate
+//! parsed or generated designs functionally (the DIAC flow itself only needs
+//! structural and electrical information, but a substrate that cannot tell
+//! you what the circuit *computes* would be hard to trust).
+//!
+//! LUT gates (from BLIF `.names` covers) carry no interpreted logic function
+//! in this data model and are rejected; everything the `.bench` front-end and
+//! the synthetic generator produce is supported.
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::gate::{GateId, GateKind};
+use crate::levelize::{levelize, Levels};
+use crate::netlist::Netlist;
+
+/// Result of evaluating one clock cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleResult {
+    /// Values of the primary outputs, in declaration order.
+    pub outputs: Vec<bool>,
+    /// Next state of the flip-flops, in declaration order.
+    pub next_state: Vec<bool>,
+}
+
+/// A functional simulator bound to one netlist.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    levels: Levels,
+    values: Vec<bool>,
+    state: Vec<bool>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with all flip-flops initialised to zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the design cannot be
+    /// levelized and [`NetlistError::UnsupportedGate`] if it contains LUT
+    /// gates whose function is unknown.
+    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
+        if let Some(lut) = netlist.iter().find(|g| g.kind == GateKind::Lut) {
+            return Err(NetlistError::UnsupportedGate {
+                gate: lut.name.clone(),
+                reason: "LUT covers carry no interpreted logic function".to_string(),
+            });
+        }
+        let levels = levelize(netlist)?;
+        Ok(Self {
+            netlist,
+            levels,
+            values: vec![false; netlist.gate_count()],
+            state: vec![false; netlist.flip_flop_count()],
+        })
+    }
+
+    /// The current flip-flop state, in declaration order.
+    #[must_use]
+    pub fn state(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Overrides the flip-flop state (e.g. to start from a known reset value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not have one entry per flip-flop.
+    pub fn set_state(&mut self, state: &[bool]) {
+        assert_eq!(
+            state.len(),
+            self.state.len(),
+            "state vector must have one entry per flip-flop"
+        );
+        self.state.copy_from_slice(state);
+    }
+
+    /// Value of one signal after the most recent evaluation.
+    #[must_use]
+    pub fn value(&self, id: GateId) -> bool {
+        self.values[id.index()]
+    }
+
+    /// Value of one signal looked up by name.
+    #[must_use]
+    pub fn value_of(&self, name: &str) -> Option<bool> {
+        self.netlist.find(name).map(|id| self.value(id))
+    }
+
+    /// Evaluates one clock cycle: combinational settle with the given primary
+    /// inputs and the current flip-flop state, then computes the next state.
+    /// The internal state is *not* advanced — call [`Self::step`] for that.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UndefinedSignal`] if `inputs` misses a primary
+    /// input.
+    pub fn evaluate(&mut self, inputs: &HashMap<String, bool>) -> Result<CycleResult, NetlistError> {
+        // Sources first.
+        for &pi in self.netlist.primary_inputs() {
+            let gate = self.netlist.gate(pi);
+            let value = inputs.get(&gate.name).copied().ok_or_else(|| {
+                NetlistError::UndefinedSignal {
+                    name: gate.name.clone(),
+                    referenced_by: "simulation input vector".to_string(),
+                }
+            })?;
+            self.values[pi.index()] = value;
+        }
+        for (slot, &ff) in self.netlist.flip_flops().iter().enumerate() {
+            self.values[ff.index()] = self.state[slot];
+        }
+        // Combinational gates in topological order.
+        for &id in self.levels.topological() {
+            let gate = self.netlist.gate(id);
+            if !gate.kind.is_combinational() {
+                continue;
+            }
+            let inputs: Vec<bool> =
+                gate.fanin.iter().map(|&f| self.values[f.index()]).collect();
+            self.values[id.index()] = eval_gate(gate.kind, &inputs);
+        }
+        // Outputs and next state.
+        let outputs = self
+            .netlist
+            .primary_outputs()
+            .iter()
+            .map(|&po| self.values[po.index()])
+            .collect();
+        let next_state = self
+            .netlist
+            .flip_flops()
+            .iter()
+            .map(|&ff| {
+                let d = self.netlist.gate(ff).fanin.first().copied();
+                d.map(|id| self.values[id.index()]).unwrap_or(false)
+            })
+            .collect();
+        Ok(CycleResult { outputs, next_state })
+    }
+
+    /// Evaluates one cycle and advances the flip-flop state.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::evaluate`].
+    pub fn step(&mut self, inputs: &HashMap<String, bool>) -> Result<CycleResult, NetlistError> {
+        let result = self.evaluate(inputs)?;
+        self.state.copy_from_slice(&result.next_state);
+        Ok(result)
+    }
+
+    /// Checks that every combinational gate's stored value is consistent with
+    /// its fan-in values — a whole-netlist self-consistency assertion used by
+    /// the property tests.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.netlist.iter().filter(|g| g.kind.is_combinational()).all(|gate| {
+            let inputs: Vec<bool> =
+                gate.fanin.iter().map(|&f| self.values[f.index()]).collect();
+            self.values[gate.id.index()] == eval_gate(gate.kind, &inputs)
+        })
+    }
+}
+
+/// Evaluates one gate function.
+fn eval_gate(kind: GateKind, inputs: &[bool]) -> bool {
+    match kind {
+        GateKind::Const0 => false,
+        GateKind::Const1 => true,
+        GateKind::Buf => inputs.first().copied().unwrap_or(false),
+        GateKind::Not => !inputs.first().copied().unwrap_or(false),
+        GateKind::And => inputs.iter().all(|&b| b),
+        GateKind::Nand => !inputs.iter().all(|&b| b),
+        GateKind::Or => inputs.iter().any(|&b| b),
+        GateKind::Nor => !inputs.iter().any(|&b| b),
+        GateKind::Xor => inputs.iter().filter(|&&b| b).count() % 2 == 1,
+        GateKind::Xnor => inputs.iter().filter(|&&b| b).count() % 2 == 0,
+        // MUX fan-in order: (select, a, b) — select chooses `b` when high.
+        GateKind::Mux => {
+            let select = inputs.first().copied().unwrap_or(false);
+            if select {
+                inputs.get(2).copied().unwrap_or(false)
+            } else {
+                inputs.get(1).copied().unwrap_or(false)
+            }
+        }
+        // Sources and LUTs are never evaluated here.
+        GateKind::Input | GateKind::Dff | GateKind::Lut => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+    use crate::parser::parse_bench;
+
+    fn inputs(pairs: &[(&str, bool)]) -> HashMap<String, bool> {
+        pairs.iter().map(|(n, v)| ((*n).to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn basic_gates_compute_their_truth_tables() {
+        let mut b = NetlistBuilder::new("truth");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let and = b.add_gate("and", GateKind::And, vec![a, c]).unwrap();
+        let xor = b.add_gate("xor", GateKind::Xor, vec![a, c]).unwrap();
+        let nor = b.add_gate("nor", GateKind::Nor, vec![a, c]).unwrap();
+        b.mark_output(and);
+        b.mark_output(xor);
+        b.mark_output(nor);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for (va, vb, expected) in [
+            (false, false, [false, false, true]),
+            (false, true, [false, true, false]),
+            (true, false, [false, true, false]),
+            (true, true, [true, false, false]),
+        ] {
+            let r = sim.evaluate(&inputs(&[("a", va), ("b", vb)])).unwrap();
+            assert_eq!(r.outputs, expected, "a={va} b={vb}");
+            assert!(sim.is_consistent());
+        }
+    }
+
+    #[test]
+    fn mux_selects_between_its_data_inputs() {
+        let mut b = NetlistBuilder::new("mux");
+        let s = b.add_input("s");
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let m = b.add_gate("m", GateKind::Mux, vec![s, x, y]).unwrap();
+        b.mark_output(m);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let r = sim.evaluate(&inputs(&[("s", false), ("x", true), ("y", false)])).unwrap();
+        assert_eq!(r.outputs, vec![true]);
+        let r = sim.evaluate(&inputs(&[("s", true), ("x", true), ("y", false)])).unwrap();
+        assert_eq!(r.outputs, vec![false]);
+    }
+
+    #[test]
+    fn a_toggle_flip_flop_toggles() {
+        // q' = NOT(q): a one-bit counter.
+        let mut b = NetlistBuilder::new("toggle");
+        b.add_gate_by_names("q", GateKind::Dff, vec!["n".into()]).unwrap();
+        b.add_gate_by_names("n", GateKind::Not, vec!["q".into()]).unwrap();
+        b.mark_output_name("q");
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let empty = HashMap::new();
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let r = sim.step(&empty).unwrap();
+            seen.push(r.outputs[0]);
+        }
+        assert_eq!(seen, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn s27_simulation_is_self_consistent_and_state_dependent() {
+        let nl = parse_bench("s27", crate::embedded::S27_BENCH).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let vector = inputs(&[("G0", false), ("G1", true), ("G2", false), ("G3", true)]);
+        sim.step(&vector).unwrap();
+        assert!(sim.is_consistent());
+        // The paper's output G17 is the complement of the internal signal G11.
+        assert_eq!(sim.value_of("G17"), sim.value_of("G11").map(|v| !v));
+
+        // With G0 = 0, G14 = NOT(G0) = 1, so G8 = AND(G14, G6) mirrors the
+        // second flip-flop: evaluating from different states must change it.
+        sim.set_state(&[false, false, false]);
+        sim.evaluate(&vector).unwrap();
+        let g8_when_zero = sim.value_of("G8");
+        sim.set_state(&[true, true, true]);
+        sim.evaluate(&vector).unwrap();
+        let g8_when_one = sim.value_of("G8");
+        assert_ne!(g8_when_zero, g8_when_one);
+        assert!(sim.is_consistent());
+    }
+
+    #[test]
+    fn synthetic_circuits_simulate_consistently() {
+        use crate::synth::{generate, SynthesisConfig};
+        let nl = generate(&SynthesisConfig::sized("simcheck", 150)).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let vector: HashMap<String, bool> = nl
+            .primary_inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, &pi)| (nl.gate(pi).name.clone(), i % 3 == 0))
+            .collect();
+        let r = sim.step(&vector).unwrap();
+        assert_eq!(r.outputs.len(), nl.primary_outputs().len());
+        assert_eq!(r.next_state.len(), nl.flip_flop_count());
+        assert!(sim.is_consistent());
+    }
+
+    #[test]
+    fn missing_inputs_and_lut_gates_are_rejected() {
+        let nl = parse_bench("s27", crate::embedded::S27_BENCH).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let err = sim.evaluate(&HashMap::new()).unwrap_err();
+        assert!(matches!(err, NetlistError::UndefinedSignal { .. }));
+
+        let blif = ".model lut\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n";
+        let lut_nl = crate::parser::parse_blif("lut", blif).unwrap();
+        assert!(matches!(Simulator::new(&lut_nl), Err(NetlistError::UnsupportedGate { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per flip-flop")]
+    fn wrong_state_width_panics() {
+        let nl = parse_bench("s27", crate::embedded::S27_BENCH).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_state(&[true]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Netlist summary statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::gate::GateKind;
+use crate::levelize::levelize;
+use crate::netlist::Netlist;
+
+/// Aggregate statistics of one netlist, as consumed by the DIAC feature
+/// dictionaries and the experiment reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Design name.
+    pub name: String,
+    /// Total gate count including sources.
+    pub total_gates: usize,
+    /// Combinational gate count (the number quoted by the benchmark suites).
+    pub combinational_gates: usize,
+    /// Flip-flop count.
+    pub flip_flops: usize,
+    /// Primary input count.
+    pub primary_inputs: usize,
+    /// Primary output count.
+    pub primary_outputs: usize,
+    /// Combinational logic depth (levels).
+    pub depth: u32,
+    /// Width of the widest level.
+    pub max_level_width: usize,
+    /// Average fan-in over combinational gates.
+    pub avg_fanin: f64,
+    /// Average fan-out over all driven signals.
+    pub avg_fanout: f64,
+    /// Histogram of gate kinds.
+    pub kind_histogram: BTreeMap<String, usize>,
+}
+
+impl NetlistStats {
+    /// Computes the statistics of `netlist`.
+    ///
+    /// If the netlist contains a combinational cycle the depth-related fields
+    /// are reported as zero rather than failing — statistics are advisory.
+    #[must_use]
+    pub fn of(netlist: &Netlist) -> Self {
+        let comb: Vec<_> = netlist.iter().filter(|g| g.kind.is_combinational()).collect();
+        let combinational_gates = comb.len();
+        let avg_fanin = if comb.is_empty() {
+            0.0
+        } else {
+            comb.iter().map(|g| g.fanin.len()).sum::<usize>() as f64 / comb.len() as f64
+        };
+        let fanout_counts = netlist.fanout_counts();
+        let driven: Vec<usize> =
+            fanout_counts.iter().copied().filter(|&c| c > 0).collect();
+        let avg_fanout = if driven.is_empty() {
+            0.0
+        } else {
+            driven.iter().sum::<usize>() as f64 / driven.len() as f64
+        };
+        let (depth, max_level_width) = match levelize(netlist) {
+            Ok(levels) => (levels.depth(), levels.max_width()),
+            Err(_) => (0, 0),
+        };
+        let mut kind_histogram: BTreeMap<String, usize> = BTreeMap::new();
+        for gate in netlist.iter() {
+            *kind_histogram.entry(gate.kind.to_string()).or_insert(0) += 1;
+        }
+        Self {
+            name: netlist.name().to_string(),
+            total_gates: netlist.gate_count(),
+            combinational_gates,
+            flip_flops: netlist.flip_flop_count(),
+            primary_inputs: netlist.primary_inputs().len(),
+            primary_outputs: netlist.primary_outputs().len(),
+            depth,
+            max_level_width,
+            avg_fanin,
+            avg_fanout,
+            kind_histogram,
+        }
+    }
+
+    /// Count of a specific gate kind.
+    #[must_use]
+    pub fn count_of(&self, kind: GateKind) -> usize {
+        self.kind_histogram.get(&kind.to_string()).copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} gates ({} comb, {} FF), {} PI, {} PO, depth {}, avg fan-in {:.2}, avg fan-out {:.2}",
+            self.name,
+            self.total_gates,
+            self.combinational_gates,
+            self.flip_flops,
+            self.primary_inputs,
+            self.primary_outputs,
+            self.depth,
+            self.avg_fanin,
+            self.avg_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_bench;
+
+    #[test]
+    fn s27_statistics_match_the_reference() {
+        let nl = parse_bench("s27", crate::embedded::S27_BENCH).unwrap();
+        let stats = NetlistStats::of(&nl);
+        assert_eq!(stats.combinational_gates, 10);
+        assert_eq!(stats.flip_flops, 3);
+        assert_eq!(stats.primary_inputs, 4);
+        assert_eq!(stats.primary_outputs, 1);
+        assert!(stats.depth >= 3);
+        assert!(stats.avg_fanin >= 1.0 && stats.avg_fanin <= 2.0);
+        assert!(stats.avg_fanout >= 1.0);
+        assert_eq!(stats.count_of(GateKind::Dff), 3);
+        assert_eq!(stats.count_of(GateKind::Input), 4);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_total() {
+        let nl = parse_bench("s27", crate::embedded::S27_BENCH).unwrap();
+        let stats = NetlistStats::of(&nl);
+        let sum: usize = stats.kind_histogram.values().sum();
+        assert_eq!(sum, stats.total_gates);
+    }
+
+    #[test]
+    fn display_mentions_the_name_and_depth() {
+        let nl = parse_bench("s27", crate::embedded::S27_BENCH).unwrap();
+        let text = NetlistStats::of(&nl).to_string();
+        assert!(text.contains("s27"));
+        assert!(text.contains("depth"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Structural Verilog emission.
+//!
+//! The DIAC flow emits its NV-enhanced tree as HDL (see
+//! `diac_core::codegen`); this module provides the complementary netlist-level
+//! writer, so that any design in the data model — parsed, synthesized, or
+//! reconstructed — can be written out as plain structural Verilog and handed
+//! to an external tool.
+
+use std::fmt::Write as _;
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+
+/// Emits `netlist` as a structural Verilog module.
+///
+/// Multi-input gates are written as reduction expressions (`&`, `|`, `^` and
+/// their negations), flip-flops become a single positive-edge `always` block,
+/// and LUT gates (whose function is not interpreted) are emitted as
+/// `diac_lut` black-box instantiations so the output remains syntactically
+/// complete.
+#[must_use]
+pub fn to_verilog(netlist: &Netlist) -> String {
+    let mut v = String::new();
+    let module = sanitize(netlist.name());
+    let pi_names: Vec<String> =
+        netlist.primary_inputs().iter().map(|&id| sanitize(&netlist.gate(id).name)).collect();
+    let po_names: Vec<String> =
+        netlist.primary_outputs().iter().map(|&id| format!("po_{}", sanitize(&netlist.gate(id).name))).collect();
+
+    let _ = writeln!(v, "// Structural Verilog emitted by the netlist crate");
+    let _ = writeln!(v, "module {module} (");
+    let _ = writeln!(v, "    input  wire clk,");
+    for name in &pi_names {
+        let _ = writeln!(v, "    input  wire {name},");
+    }
+    for (i, name) in po_names.iter().enumerate() {
+        let comma = if i + 1 == po_names.len() { "" } else { "," };
+        let _ = writeln!(v, "    output wire {name}{comma}");
+    }
+    let _ = writeln!(v, ");");
+    let _ = writeln!(v);
+
+    // Declarations for every driven signal.
+    for gate in netlist.iter() {
+        match gate.kind {
+            GateKind::Input => {}
+            GateKind::Dff => {
+                let _ = writeln!(v, "    reg  {};", sanitize(&gate.name));
+            }
+            _ => {
+                let _ = writeln!(v, "    wire {};", sanitize(&gate.name));
+            }
+        }
+    }
+    let _ = writeln!(v);
+
+    // Combinational assignments.
+    let mut lut_index = 0_usize;
+    for gate in netlist.iter() {
+        let name = sanitize(&gate.name);
+        let operands: Vec<String> =
+            gate.fanin.iter().map(|&f| sanitize(&netlist.gate(f).name)).collect();
+        let rhs = match gate.kind {
+            GateKind::Input | GateKind::Dff => continue,
+            GateKind::Const0 => "1'b0".to_string(),
+            GateKind::Const1 => "1'b1".to_string(),
+            GateKind::Buf => operands[0].clone(),
+            GateKind::Not => format!("~{}", operands[0]),
+            GateKind::And => operands.join(" & "),
+            GateKind::Nand => format!("~({})", operands.join(" & ")),
+            GateKind::Or => operands.join(" | "),
+            GateKind::Nor => format!("~({})", operands.join(" | ")),
+            GateKind::Xor => operands.join(" ^ "),
+            GateKind::Xnor => format!("~({})", operands.join(" ^ ")),
+            GateKind::Mux => {
+                format!("{} ? {} : {}", operands[0], operands[2], operands[1])
+            }
+            GateKind::Lut => {
+                lut_index += 1;
+                let _ = writeln!(
+                    v,
+                    "    diac_lut #(.INPUTS({})) u_lut{} (.in({{{}}}), .out({}));",
+                    operands.len(),
+                    lut_index,
+                    operands.join(", "),
+                    name
+                );
+                continue;
+            }
+        };
+        let _ = writeln!(v, "    assign {name} = {rhs};");
+    }
+    let _ = writeln!(v);
+
+    // Sequential elements.
+    if netlist.flip_flop_count() > 0 {
+        let _ = writeln!(v, "    always @(posedge clk) begin");
+        for &ff in netlist.flip_flops() {
+            let gate = netlist.gate(ff);
+            let d = gate
+                .fanin
+                .first()
+                .map(|&f| sanitize(&netlist.gate(f).name))
+                .unwrap_or_else(|| "1'b0".to_string());
+            let _ = writeln!(v, "        {} <= {};", sanitize(&gate.name), d);
+        }
+        let _ = writeln!(v, "    end");
+        let _ = writeln!(v);
+    }
+
+    // Output connections.
+    for (&po, po_name) in netlist.primary_outputs().iter().zip(&po_names) {
+        let _ = writeln!(v, "    assign {po_name} = {};", sanitize(&netlist.gate(po).name));
+    }
+    let _ = writeln!(v, "endmodule");
+    v
+}
+
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, 'n');
+    }
+    if out.is_empty() {
+        out.push('n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_bench, parse_blif};
+
+    #[test]
+    fn s27_verilog_has_the_expected_structure() {
+        let nl = parse_bench("s27", crate::embedded::S27_BENCH).unwrap();
+        let v = to_verilog(&nl);
+        assert!(v.contains("module s27 ("));
+        assert!(v.trim_end().ends_with("endmodule"));
+        assert!(v.contains("always @(posedge clk)"));
+        // One assign per combinational gate plus one per primary output.
+        let assigns = v.matches("assign ").count();
+        assert_eq!(assigns, nl.combinational_count() + nl.primary_outputs().len());
+        // One non-blocking assignment per flip-flop.
+        assert_eq!(v.matches("<=").count(), nl.flip_flop_count());
+    }
+
+    #[test]
+    fn every_signal_is_declared_before_use() {
+        let nl = parse_bench("s27", crate::embedded::S27_BENCH).unwrap();
+        let v = to_verilog(&nl);
+        for gate in nl.iter() {
+            assert!(v.contains(&sanitize(&gate.name)), "{}", gate.name);
+        }
+    }
+
+    #[test]
+    fn purely_combinational_designs_have_no_always_block() {
+        let nl = parse_bench("fig2", crate::embedded::FIG2_EXAMPLE_BENCH).unwrap();
+        let v = to_verilog(&nl);
+        assert!(!v.contains("always"));
+        assert!(v.contains("assign"));
+    }
+
+    #[test]
+    fn lut_gates_become_black_boxes() {
+        let blif = ".model m\n.inputs a b c\n.outputs f\n.names a b c f\n111 1\n.end\n";
+        let nl = parse_blif("m", blif).unwrap();
+        let v = to_verilog(&nl);
+        assert!(v.contains("diac_lut"));
+        assert!(v.contains(".INPUTS(3)"));
+    }
+
+    #[test]
+    fn names_are_sanitised_for_verilog() {
+        assert_eq!(sanitize("G17"), "G17");
+        assert_eq!(sanitize("3x"), "n3x");
+        assert_eq!(sanitize("a-b"), "a_b");
+    }
+}

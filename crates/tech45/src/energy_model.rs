@@ -1,0 +1,274 @@
+//! The paper's design-time energy / delay estimation formulas.
+//!
+//! Section IV.A of the paper describes the mathematical model DIAC uses to
+//! estimate operands before run time:
+//!
+//! * dynamic energy `≈ 2 · Σᵢ delayᵢ · P_dyn,i` over the `n` gates of an
+//!   operand (the factor 2 makes the 50 %-to-50 % delay measurement
+//!   conservative);
+//! * static energy `≈ CDP · Σᵢ P_stat,i` over the *inactive* gates, where
+//!   `CDP` is the critical-delay-path of the operand (while one gate switches
+//!   the others only leak).
+//!
+//! [`OperandProfile`] aggregates a bag of gates into those two numbers plus
+//! the critical path, and [`EnergyEstimate`] is the resulting summary that
+//! feeds DIAC's feature dictionaries.
+
+use crate::cells::{Cell, CellKind, CellLibrary};
+use crate::units::{Energy, Power, Seconds};
+
+/// Design-time energy/delay estimate of one operand (a cluster of gates).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyEstimate {
+    /// Dynamic energy of one activation of the operand.
+    pub dynamic: Energy,
+    /// Static (leakage) energy burnt over one activation.
+    pub static_: Energy,
+    /// Critical-path delay of the operand.
+    pub critical_path: Seconds,
+    /// Sum of the leakage power of every gate in the operand.
+    pub leakage_power: Power,
+    /// Number of gates aggregated into this estimate.
+    pub gate_count: usize,
+}
+
+impl EnergyEstimate {
+    /// Total energy of one activation (dynamic plus static).
+    #[must_use]
+    pub fn total(&self) -> Energy {
+        self.dynamic + self.static_
+    }
+
+    /// Power-delay product of one activation of the operand.
+    #[must_use]
+    pub fn pdp(&self) -> f64 {
+        self.total().as_joules() * self.critical_path.as_seconds()
+    }
+
+    /// Merges two estimates as if the two operands were fused into one
+    /// (energies add; the critical path of a fused operand is the sum of the
+    /// two paths because DIAC chains merged operands).
+    #[must_use]
+    pub fn merged_with(&self, other: &Self) -> Self {
+        Self {
+            dynamic: self.dynamic + other.dynamic,
+            static_: self.static_ + other.static_,
+            critical_path: self.critical_path + other.critical_path,
+            leakage_power: self.leakage_power + other.leakage_power,
+            gate_count: self.gate_count + other.gate_count,
+        }
+    }
+}
+
+/// Aggregates per-gate library data into the paper's operand-level estimate.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OperandProfile {
+    gates: Vec<CellKind>,
+    /// Longest chain of gates inside the operand (in gates).  When unknown we
+    /// conservatively assume the gates form one chain.
+    depth: Option<usize>,
+    /// Switching activity: fraction of gates that toggle per activation.
+    activity: f64,
+}
+
+impl OperandProfile {
+    /// Creates an empty profile with the default switching activity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { gates: Vec::new(), depth: None, activity: crate::constants::DEFAULT_ACTIVITY }
+    }
+
+    /// Creates a profile from a list of gates.
+    #[must_use]
+    pub fn from_gates(gates: impl IntoIterator<Item = CellKind>) -> Self {
+        let mut profile = Self::new();
+        profile.gates = gates.into_iter().collect();
+        profile
+    }
+
+    /// Sets the known logic depth (longest gate chain) of the operand.
+    #[must_use]
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = Some(depth);
+        self
+    }
+
+    /// Sets the switching activity (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn with_activity(mut self, activity: f64) -> Self {
+        self.activity = activity.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Adds one gate to the operand.
+    pub fn push(&mut self, gate: CellKind) {
+        self.gates.push(gate);
+    }
+
+    /// Number of gates in the operand.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the operand holds no gates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Gates of the operand.
+    #[must_use]
+    pub fn gates(&self) -> &[CellKind] {
+        &self.gates
+    }
+
+    /// Evaluates the paper's formulas against `library`.
+    #[must_use]
+    pub fn estimate(&self, library: &CellLibrary) -> EnergyEstimate {
+        if self.gates.is_empty() {
+            return EnergyEstimate::default();
+        }
+        let cells: Vec<&Cell> = self.gates.iter().map(|&k| library.cell(k)).collect();
+
+        // Dynamic: 2 * Σ delay_i * P_dyn,i, weighted by activity (only the
+        // toggling gates contribute switching energy).
+        let dynamic_raw: f64 =
+            cells.iter().map(|c| 2.0 * c.delay.as_seconds() * c.dynamic_power.as_watts()).sum();
+        let dynamic = Energy::new(dynamic_raw * self.activity.max(1e-3));
+
+        // Critical delay path: if the caller told us the depth, take the
+        // `depth` slowest gates as the chain; otherwise assume all gates chain.
+        let mut delays: Vec<Seconds> = cells.iter().map(|c| c.delay).collect();
+        delays.sort_by(|a, b| b.partial_cmp(a).expect("finite delays"));
+        let chain_len = self.depth.unwrap_or(delays.len()).clamp(1, delays.len());
+        let critical_path: Seconds = delays.iter().take(chain_len).copied().sum();
+
+        // Static: CDP * Σ P_stat,i over the inactive gates (all but the one
+        // currently switching — the paper excludes the active gate).
+        let leakage_power: Power = cells.iter().map(|c| c.static_power).copied_sum();
+        let inactive_leakage: f64 = if cells.len() > 1 {
+            let max_leak =
+                cells.iter().map(|c| c.static_power.as_watts()).fold(0.0_f64, f64::max);
+            leakage_power.as_watts() - max_leak
+        } else {
+            0.0
+        };
+        let static_ = Energy::new(critical_path.as_seconds() * inactive_leakage);
+
+        EnergyEstimate {
+            dynamic,
+            static_,
+            critical_path,
+            leakage_power,
+            gate_count: cells.len(),
+        }
+    }
+}
+
+/// Tiny extension so the sum above reads naturally for borrowed powers.
+trait CopiedSum {
+    fn copied_sum(self) -> Power;
+}
+
+impl<'a, I> CopiedSum for I
+where
+    I: Iterator<Item = Power> + 'a,
+{
+    fn copied_sum(self) -> Power {
+        self.sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> CellLibrary {
+        CellLibrary::nangate45_surrogate()
+    }
+
+    #[test]
+    fn empty_operand_estimates_to_zero() {
+        let est = OperandProfile::new().estimate(&lib());
+        assert_eq!(est.gate_count, 0);
+        assert_eq!(est.total(), Energy::ZERO);
+        assert_eq!(est.pdp(), 0.0);
+    }
+
+    #[test]
+    fn dynamic_energy_matches_formula_for_single_gate() {
+        let library = lib();
+        let nand = library.cell(CellKind::Nand2);
+        let est = OperandProfile::from_gates([CellKind::Nand2]).with_activity(1.0).estimate(&library);
+        let expected = 2.0 * nand.delay.as_seconds() * nand.dynamic_power.as_watts();
+        assert!((est.dynamic.as_joules() - expected).abs() < 1e-24);
+        // A single gate has no inactive neighbours, so no static term.
+        assert_eq!(est.static_, Energy::ZERO);
+        assert_eq!(est.gate_count, 1);
+    }
+
+    #[test]
+    fn static_energy_excludes_the_active_gate() {
+        let library = lib();
+        let est = OperandProfile::from_gates([CellKind::Inv, CellKind::Inv, CellKind::Inv])
+            .with_activity(1.0)
+            .estimate(&library);
+        let inv = library.cell(CellKind::Inv);
+        let expected_static =
+            est.critical_path.as_seconds() * (2.0 * inv.static_power.as_watts());
+        assert!((est.static_.as_joules() - expected_static).abs() < 1e-24);
+    }
+
+    #[test]
+    fn more_gates_mean_more_energy() {
+        let library = lib();
+        let small = OperandProfile::from_gates(vec![CellKind::Nand2; 4]).estimate(&library);
+        let large = OperandProfile::from_gates(vec![CellKind::Nand2; 40]).estimate(&library);
+        assert!(large.total() > small.total());
+        assert!(large.pdp() > small.pdp());
+    }
+
+    #[test]
+    fn known_depth_shortens_the_critical_path() {
+        let library = lib();
+        let gates = vec![CellKind::Nand2; 16];
+        let chained = OperandProfile::from_gates(gates.clone()).estimate(&library);
+        let shallow = OperandProfile::from_gates(gates).with_depth(4).estimate(&library);
+        assert!(shallow.critical_path < chained.critical_path);
+        // Dynamic energy is unaffected by the depth hint.
+        assert_eq!(shallow.dynamic, chained.dynamic);
+    }
+
+    #[test]
+    fn activity_scales_dynamic_energy_linearly() {
+        let library = lib();
+        let full = OperandProfile::from_gates(vec![CellKind::Xor2; 8]).with_activity(1.0).estimate(&library);
+        let half = OperandProfile::from_gates(vec![CellKind::Xor2; 8]).with_activity(0.5).estimate(&library);
+        assert!((full.dynamic.as_joules() / half.dynamic.as_joules() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_estimates_add_up() {
+        let library = lib();
+        let a = OperandProfile::from_gates(vec![CellKind::And2; 5]).estimate(&library);
+        let b = OperandProfile::from_gates(vec![CellKind::Or2; 3]).estimate(&library);
+        let m = a.merged_with(&b);
+        assert_eq!(m.gate_count, 8);
+        assert!((m.dynamic.as_joules() - (a.dynamic + b.dynamic).as_joules()).abs() < 1e-24);
+        assert!((m.critical_path.as_seconds()
+            - (a.critical_path + b.critical_path).as_seconds())
+        .abs()
+            < 1e-18);
+    }
+
+    #[test]
+    fn push_and_accessors() {
+        let mut p = OperandProfile::new();
+        assert!(p.is_empty());
+        p.push(CellKind::Inv);
+        p.push(CellKind::Nand2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.gates(), &[CellKind::Inv, CellKind::Nand2]);
+    }
+}

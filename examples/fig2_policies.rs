@@ -1,0 +1,12 @@
+//! Reproduces Fig. 2: the 8-input/1-output example tree under the original
+//! structure and Policies 1–3.
+//!
+//! ```text
+//! cargo run --example fig2_policies
+//! ```
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let result = experiments::fig2::run()?;
+    println!("{}", result.render());
+    Ok(())
+}

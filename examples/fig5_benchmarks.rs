@@ -1,0 +1,25 @@
+//! Reproduces Fig. 5 and the Section IV.B improvement summary: normalized PDP
+//! of NV-based, NV-Clustering, DIAC and Optimized DIAC over the ISCAS-89,
+//! ITC-99 and MCNC circuits.
+//!
+//! ```text
+//! cargo run --release --example fig5_benchmarks               # full 24-circuit run
+//! cargo run --example fig5_benchmarks -- --small              # circuits <= 1000 gates
+//! cargo run --release --example fig5_benchmarks -- --summary  # improvements only
+//! ```
+
+use experiments::improvements::ImprovementSummary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let summary_only = args.iter().any(|a| a == "--summary");
+
+    let fig5 = if small { experiments::fig5::run_small()? } else { experiments::fig5::run()? };
+    if !summary_only {
+        println!("{}", fig5.to_table());
+    }
+    let summary = ImprovementSummary::from_fig5(&fig5);
+    println!("{}", summary.to_table());
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Reproduces the Section IV.C discussion: how the DIAC advantage changes
+//! when the NVM technology is swapped (MRAM / ReRAM / FeRAM / PCM).
+//!
+//! ```text
+//! cargo run --release --example nvm_sensitivity
+//! ```
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let study = experiments::nvm_sensitivity::run()?;
+    println!("{}", study.to_table());
+    println!(
+        "Write-hungrier technologies widen the gap because the optimized DIAC design performs \
+         the fewest NVM writes — the trend the paper reports for ReRAM (≈ 4.4× the MRAM write \
+         energy)."
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Domain scenario: a batteryless sensor node deployed on three different
+//! ambient sources, plus a design-space exploration of the DIAC knobs for the
+//! circuit it runs.
+//!
+//! ```text
+//! cargo run --release --example sensor_node
+//! ```
+//!
+//! This is the kind of study a system designer would run before committing to
+//! a deployment: how much forward progress does the node make per day on an
+//! RFID field, on indoor solar, and on a flaky on/off channel — and which
+//! DIAC configuration (policy, replacement budget, NVM technology) gives the
+//! best efficiency/resiliency trade-off for the workload circuit.
+
+use diac_core::prelude::*;
+use ehsim::source::{HarvestSource, MarkovSource, RfidSource, SolarSource};
+use experiments::report::Table;
+use isim::executor::IntermittentExecutor;
+use isim::fsm::FsmConfig;
+use netlist::suite::BenchmarkSuite;
+use tech45::nvm::NvmTechnology;
+use tech45::units::{Power, Seconds};
+
+fn deploy<S: HarvestSource>(name: &str, source: S, table: &mut Table) {
+    let mut exec = IntermittentExecutor::with_source(FsmConfig::paper_default(), source);
+    let day = Seconds::new(24.0 * 3600.0);
+    let stats = exec.run(day, Seconds::new(0.5));
+    table.push_row(vec![
+        name.to_string(),
+        stats.completed_tasks().to_string(),
+        stats.transmissions_completed.to_string(),
+        stats.backups.to_string(),
+        stats.restores.to_string(),
+        format!("{:.1}", stats.active_fraction() * 100.0),
+        format!("{:.0}", stats.energy_harvested.as_millijoules()),
+    ]);
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- atomic-operation plan for the node's three operations --------------
+    let plan = plan_atomic_operations(
+        &OperationSpec::paper_operations(),
+        tech45::units::Energy::from_millijoules(10.0),
+        Policy::Policy3,
+    )?;
+    println!("{plan}");
+
+    // --- one simulated day on three ambient sources -------------------------
+    let mut table = Table::new(
+        "One simulated day per ambient source (paper FSM, safe zone enabled)",
+        &["source", "tasks", "transmissions", "backups", "restores", "active %", "harvested (mJ)"],
+    );
+    deploy("RFID reader field", RfidSource::typical(11), &mut table);
+    deploy(
+        "indoor solar",
+        SolarSource::new(Power::from_milliwatts(0.8), Seconds::new(24.0 * 3600.0), 0.3, 12),
+        &mut table,
+    );
+    deploy(
+        "flaky on/off channel",
+        MarkovSource::new(Power::from_milliwatts(0.6), Seconds::new(120.0), Seconds::new(240.0), 13),
+        &mut table,
+    );
+    println!("{table}");
+
+    // --- design-space exploration for the workload circuit ------------------
+    let netlist = BenchmarkSuite::diac_paper().materialize("mcnc_sensor_if")?;
+    let explorer = Explorer::new(ExplorationConfig {
+        policies: Policy::ALL.to_vec(),
+        budget_fractions: vec![0.05, 0.15, 0.30],
+        technologies: vec![NvmTechnology::Mram, NvmTechnology::Reram],
+    });
+    let points = explorer.explore(&netlist, &SchemeContext::default())?;
+    let front = Explorer::pareto_front(&points);
+    println!(
+        "design-space exploration of `{}`: {} points evaluated, {} on the Pareto front",
+        netlist.name(),
+        points.len(),
+        front.len()
+    );
+    for point in &front {
+        println!("  {point}");
+    }
+    Ok(())
+}
