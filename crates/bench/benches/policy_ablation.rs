@@ -11,13 +11,9 @@ fn bench_policy_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("policy_ablation");
     for policy in Policy::ALL {
         let ctx = bench_context().with_policy(policy);
-        group.bench_with_input(
-            BenchmarkId::new("s400", format!("{policy}")),
-            &ctx,
-            |b, ctx| {
-                b.iter(|| black_box(compare_all_schemes(&netlist, ctx).expect("evaluation")));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("s400", format!("{policy}")), &ctx, |b, ctx| {
+            b.iter(|| black_box(compare_all_schemes(&netlist, ctx).expect("evaluation")));
+        });
     }
     group.bench_function("ablation_harness", |b| {
         b.iter(|| {

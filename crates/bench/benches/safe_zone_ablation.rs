@@ -13,10 +13,7 @@ fn bench_safe_zone(c: &mut Criterion) {
             &margin,
             |b, &m| {
                 b.iter(|| {
-                    black_box(experiments::safe_zone::run_with_margins(
-                        &[m],
-                        Seconds::new(2000.0),
-                    ))
+                    black_box(experiments::safe_zone::run_with_margins(&[m], Seconds::new(2000.0)))
                 });
             },
         );

@@ -1,0 +1,53 @@
+//! Bench for the full-suite sweep: serial vs. parallel Fig. 5 evaluation
+//! over the complete 24-circuit registry.
+//!
+//! This is the perf baseline for the evaluation-path scaling work: the
+//! serial number is what the pre-pipeline code paid per sweep (modulo the
+//! artifact sharing, which both sides enjoy), and the parallel numbers show
+//! how the `SuiteRunner` fan-out scales with the worker count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diac_bench::bench_context;
+use experiments::fig5;
+use experiments::suite_runner::SuiteRunner;
+use netlist::suite::BenchmarkSuite;
+use std::hint::black_box;
+
+fn bench_suite_sweep(c: &mut Criterion) {
+    let ctx = bench_context();
+    let suite = BenchmarkSuite::diac_paper();
+    let mut group = c.benchmark_group("suite_sweep");
+
+    group.bench_function("fig5_full_serial", |b| {
+        b.iter(|| {
+            black_box(fig5::run_on_with(&SuiteRunner::serial(), &suite, &ctx).expect("fig5 runs"))
+        });
+    });
+    group.bench_function("fig5_full_parallel_all_cores", |b| {
+        b.iter(|| {
+            black_box(fig5::run_on_with(&SuiteRunner::new(), &suite, &ctx).expect("fig5 runs"))
+        });
+    });
+    for threads in [2_usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("fig5_full_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(
+                        fig5::run_on_with(&SuiteRunner::with_threads(threads), &suite, &ctx)
+                            .expect("fig5 runs"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_suite_sweep
+}
+criterion_main!(benches);

@@ -28,9 +28,8 @@ fn bench_tree_ops(c: &mut Criterion) {
     }
 
     let netlist = circuit("s526");
-    let base_tree =
-        OperandTree::from_netlist(&netlist, &library, &TreeGeneratorConfig::default())
-            .expect("tree");
+    let base_tree = OperandTree::from_netlist(&netlist, &library, &TreeGeneratorConfig::default())
+        .expect("tree");
 
     group.bench_function("policy3_s526", |b| {
         b.iter(|| {

@@ -13,8 +13,9 @@ use netlist::Netlist;
 use tech45::nvm::NvmTechnology;
 
 use crate::error::DiacError;
+use crate::pipeline::{CircuitArtifacts, SynthesisPipeline};
 use crate::policy::Policy;
-use crate::schemes::{evaluate_scheme, DiacOptimized, SchemeContext};
+use crate::schemes::{SchemeContext, SchemeKind};
 
 /// One evaluated point of the design space.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,6 +109,10 @@ impl Explorer {
     /// Evaluates every point of the sweep on `netlist`, starting from `base`
     /// as the common context.
     ///
+    /// The netlist is clustered into its operand tree exactly once; every
+    /// sweep point reuses those [`CircuitArtifacts`], and points sharing a
+    /// policy additionally reuse the restructured tree.
+    ///
     /// # Errors
     ///
     /// Propagates evaluation failures (invalid configurations or netlists).
@@ -116,13 +121,33 @@ impl Explorer {
         netlist: &Netlist,
         base: &SchemeContext,
     ) -> Result<Vec<DesignPoint>, DiacError> {
+        let pipeline = SynthesisPipeline::new(base.clone());
+        let artifacts = pipeline.prepare(netlist)?;
+        self.explore_prepared(&pipeline, &artifacts)
+    }
+
+    /// Evaluates every point of the sweep against already-prepared circuit
+    /// artifacts (so callers sweeping several circuits can share the
+    /// preparation work with other experiments).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures (invalid configurations or stale
+    /// artifacts).
+    pub fn explore_prepared(
+        &self,
+        pipeline: &SynthesisPipeline,
+        artifacts: &CircuitArtifacts,
+    ) -> Result<Vec<DesignPoint>, DiacError> {
+        let base = pipeline.context();
         let mut points = Vec::with_capacity(self.config.point_count());
         for &policy in &self.config.policies {
             for &budget in &self.config.budget_fractions {
                 for &nvm in &self.config.technologies {
                     let mut ctx = base.clone().with_policy(policy).with_nvm(nvm);
                     ctx.replacement.budget_fraction = budget;
-                    let result = evaluate_scheme(netlist, &ctx, &DiacOptimized)?;
+                    let result =
+                        pipeline.evaluate_in(artifacts, &ctx, SchemeKind::DiacOptimized)?;
                     points.push(DesignPoint {
                         policy,
                         budget_fraction: budget,
@@ -142,11 +167,7 @@ impl Explorer {
     /// (efficiency = low PDP vs. resiliency = many boundaries).
     #[must_use]
     pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
-        points
-            .iter()
-            .filter(|p| !points.iter().any(|q| q.dominates(p)))
-            .cloned()
-            .collect()
+        points.iter().filter(|p| !points.iter().any(|q| q.dominates(p))).cloned().collect()
     }
 }
 
@@ -183,8 +204,7 @@ mod tests {
             budget_fractions: vec![0.05, 0.5],
             technologies: vec![NvmTechnology::Mram],
         };
-        let points =
-            Explorer::new(config).explore(&netlist(), &SchemeContext::default()).unwrap();
+        let points = Explorer::new(config).explore(&netlist(), &SchemeContext::default()).unwrap();
         let tight = &points[0];
         let loose = &points[1];
         assert!(tight.boundaries > loose.boundaries);

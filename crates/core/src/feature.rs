@@ -79,11 +79,8 @@ impl FeatureDict {
     /// better places for an NVM boundary.  Higher is better.
     #[must_use]
     pub fn replacement_score(&self, max_level: u32) -> f64 {
-        let level_rank = if max_level == 0 {
-            1.0
-        } else {
-            f64::from(self.level) / f64::from(max_level)
-        };
+        let level_rank =
+            if max_level == 0 { 1.0 } else { f64::from(self.level) / f64::from(max_level) };
         let connectivity = (self.fan_in + self.fan_out) as f64;
         let accumulated_mj = self.accumulated.as_millijoules().max(0.0);
         // Criterion III explicitly says writes are reduced by a factor of

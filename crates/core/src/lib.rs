@@ -24,7 +24,10 @@
 //! 5. **Evaluation** ([`pdp`], [`schemes`]): the four intermittent-computing
 //!    schemes the paper compares (NV-based, NV-Clustering, DIAC, Optimized
 //!    DIAC) are priced with a shared power-delay-product model under an
-//!    intermittency profile, and [`explore`] sweeps the design space.
+//!    intermittency profile.  The scheme-independent products (figures,
+//!    operand tree, restructuring, replacement) are computed once per
+//!    circuit by the [`pipeline`] and shared across schemes and sweep
+//!    points; [`explore`] sweeps the design space on top of it.
 //!
 //! # Quick example
 //!
@@ -50,6 +53,7 @@ mod error;
 pub mod explore;
 pub mod feature;
 pub mod pdp;
+pub mod pipeline;
 pub mod policy;
 pub mod replacement;
 pub mod schemes;
@@ -59,6 +63,7 @@ pub mod tree;
 pub use error::DiacError;
 pub use feature::FeatureDict;
 pub use pdp::{IntermittencyProfile, PdpBreakdown};
+pub use pipeline::{CircuitArtifacts, SynthesisPipeline};
 pub use policy::{Policy, PolicyBounds};
 pub use replacement::{NvEnhancedTree, ReplacementConfig, ReplacementSummary};
 pub use schemes::{
@@ -75,11 +80,11 @@ pub mod prelude {
     pub use crate::explore::{DesignPoint, ExplorationConfig, Explorer};
     pub use crate::feature::FeatureDict;
     pub use crate::pdp::{IntermittencyProfile, PdpBreakdown};
+    pub use crate::pipeline::{CircuitArtifacts, SynthesisPipeline};
     pub use crate::policy::{Policy, PolicyBounds};
     pub use crate::replacement::{NvEnhancedTree, ReplacementConfig, ReplacementSummary};
     pub use crate::schemes::{
-        compare_all_schemes, Calibration, SchemeComparison, SchemeContext, SchemeKind,
-        SchemeResult,
+        compare_all_schemes, Calibration, SchemeComparison, SchemeContext, SchemeKind, SchemeResult,
     };
     pub use crate::timing::{validate_timing, TimingReport};
     pub use crate::tree::{Operand, OperandId, OperandTree, TreeGeneratorConfig};

@@ -1,0 +1,368 @@
+//! The shared synthesis pipeline: parse → levelize → figures → tree, once
+//! per circuit.
+//!
+//! The paper motivates DIAC by noting that trees, designs, and power-failure
+//! scenarios "exponentially expand the design space".  Exploring that space
+//! efficiently means not recomputing the expensive, *scheme-independent*
+//! parts of the flow for every scheme or sweep point:
+//!
+//! * the levelization and circuit-level energy figures,
+//! * the operand tree clustered from the netlist,
+//! * the policy-restructured tree (identical for every sweep point sharing a
+//!   policy), and
+//! * the NVM replacement summary (identical for every evaluation sharing a
+//!   policy, technology and budget — in particular for DIAC and optimized
+//!   DIAC, which differ only in their backup *schedule*).
+//!
+//! [`CircuitArtifacts`] holds those shared products for one circuit;
+//! [`SynthesisPipeline`] builds artifacts and evaluates schemes against
+//! them.  The cached path is bit-identical to evaluating each scheme from
+//! scratch (asserted by the `pipeline_equivalence` integration test) because
+//! every cached product is a pure function of its inputs.
+//!
+//! # Example
+//!
+//! ```
+//! use diac_core::pipeline::SynthesisPipeline;
+//! use diac_core::schemes::{SchemeContext, SchemeKind};
+//! use netlist::parser::parse_bench;
+//!
+//! let nl = parse_bench("s27", netlist::embedded::S27_BENCH)?;
+//! let pipeline = SynthesisPipeline::new(SchemeContext::default());
+//! let artifacts = pipeline.prepare(&nl)?;
+//! let comparison = pipeline.compare_all(&artifacts)?;
+//! assert_eq!(comparison.results.len(), 4);
+//! # Ok::<(), diac_core::DiacError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use netlist::Netlist;
+use tech45::cells::CellLibrary;
+use tech45::nvm::NvmTechnology;
+
+use crate::error::DiacError;
+use crate::policy::{apply_policy, Policy, PolicyBounds};
+use crate::replacement::{insert_nvm_boundaries, ReplacementConfig, ReplacementSummary};
+use crate::schemes::{
+    circuit_figures, evaluate_scheme_with, spec_for, CircuitFigures, SchemeComparison,
+    SchemeContext, SchemeKind, SchemeResult,
+};
+use crate::tree::{OperandTree, TreeGeneratorConfig};
+
+/// The relative bounds steering the restructuring policies, as used by the
+/// paper's evaluation (split above 25 % of the tree energy, merge below 2 %).
+const POLICY_UPPER_FRACTION: f64 = 0.25;
+const POLICY_LOWER_FRACTION: f64 = 0.02;
+
+/// Cache key of one replacement run: the policy that shaped the tree plus
+/// every [`ReplacementConfig`] field that steers the traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ReplacementKey {
+    policy: Policy,
+    technology: NvmTechnology,
+    budget_bits: u64,
+    word_bits: u32,
+    bits_per_signal: u32,
+}
+
+impl ReplacementKey {
+    fn new(policy: Policy, config: &ReplacementConfig) -> Self {
+        Self {
+            policy,
+            technology: config.technology,
+            budget_bits: config.budget_fraction.to_bits(),
+            word_bits: config.word_bits,
+            bits_per_signal: config.bits_per_signal,
+        }
+    }
+}
+
+/// Scheme-independent synthesis products of one circuit, computed once and
+/// shared across all scheme evaluations and design-space sweep points.
+///
+/// Artifacts stay valid while the sweep only varies the restructuring
+/// policy, the NVM technology, the replacement budget, the intermittency
+/// profile, or calibration constants that do not feed the netlist-level
+/// figures.  Changing the cell library, the tree-generator configuration or
+/// the combinational activity invalidates them; evaluation checks this and
+/// returns [`DiacError::InvalidConfig`] instead of silently reusing stale
+/// products.
+#[derive(Debug)]
+pub struct CircuitArtifacts {
+    name: String,
+    figures: CircuitFigures,
+    base_tree: OperandTree,
+    // Fingerprint of the context fields the cached products depend on.
+    library: CellLibrary,
+    tree_config: TreeGeneratorConfig,
+    comb_activity: f64,
+    // Lazily-filled caches.  Interior mutability keeps the evaluation API
+    // `&self`, so one set of artifacts can be shared across sweep points.
+    restructured: Mutex<HashMap<Policy, OperandTree>>,
+    replacements: Mutex<HashMap<ReplacementKey, ReplacementSummary>>,
+}
+
+impl CircuitArtifacts {
+    /// Runs the scheme-independent front of the flow once: levelization and
+    /// circuit figures, plus the operand-tree clustering.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist analysis and tree-construction failures.
+    pub fn build(netlist: &Netlist, ctx: &SchemeContext) -> Result<Self, DiacError> {
+        let figures = circuit_figures(netlist, ctx)?;
+        let base_tree = OperandTree::from_netlist(netlist, &ctx.library, &ctx.tree_config)?;
+        Ok(Self {
+            name: netlist.name().to_string(),
+            figures,
+            base_tree,
+            library: ctx.library.clone(),
+            tree_config: ctx.tree_config,
+            comb_activity: ctx.calibration.comb_activity,
+            restructured: Mutex::new(HashMap::new()),
+            replacements: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Circuit name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operand tree clustered from the netlist, before any policy.
+    #[must_use]
+    pub fn operand_tree(&self) -> &OperandTree {
+        &self.base_tree
+    }
+
+    /// Number of replacement runs currently cached (diagnostic).
+    #[must_use]
+    pub fn cached_replacements(&self) -> usize {
+        self.replacements.lock().expect("replacement cache lock").len()
+    }
+
+    pub(crate) fn figures(&self) -> &CircuitFigures {
+        &self.figures
+    }
+
+    /// Whether `ctx` is compatible with the inputs these artifacts were
+    /// built from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiacError::InvalidConfig`] when the context differs in the
+    /// cell library, tree configuration or combinational activity.
+    pub(crate) fn check_context(&self, ctx: &SchemeContext) -> Result<(), DiacError> {
+        if ctx.library != self.library
+            || ctx.tree_config != self.tree_config
+            || ctx.calibration.comb_activity != self.comb_activity
+        {
+            return Err(DiacError::InvalidConfig {
+                message: format!(
+                    "artifacts of `{}` were built with a different library/tree configuration; \
+                     rebuild them with SynthesisPipeline::prepare",
+                    self.name
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The tree after `policy`, cloned from the per-policy cache.
+    fn restructured_tree(
+        &self,
+        policy: Policy,
+        library: &CellLibrary,
+    ) -> Result<OperandTree, DiacError> {
+        let mut cache = self.restructured.lock().expect("restructured cache lock");
+        if let Some(tree) = cache.get(&policy) {
+            return Ok(tree.clone());
+        }
+        let mut tree = self.base_tree.clone();
+        let bounds = PolicyBounds::relative_to(&tree, POLICY_UPPER_FRACTION, POLICY_LOWER_FRACTION);
+        apply_policy(&mut tree, policy, &bounds, library)?;
+        cache.insert(policy, tree.clone());
+        Ok(tree)
+    }
+
+    /// The replacement summary for `ctx`'s policy / technology / budget,
+    /// computing and caching it on first use.
+    pub(crate) fn replacement_summary(
+        &self,
+        ctx: &SchemeContext,
+    ) -> Result<ReplacementSummary, DiacError> {
+        let mut config = ctx.replacement;
+        config.technology = ctx.nvm;
+        let key = ReplacementKey::new(ctx.policy, &config);
+        if let Some(summary) = self.replacements.lock().expect("replacement cache lock").get(&key) {
+            return Ok(*summary);
+        }
+        let tree = self.restructured_tree(ctx.policy, &ctx.library)?;
+        let enhanced = insert_nvm_boundaries(tree, &config)?;
+        let summary = *enhanced.summary();
+        self.replacements.lock().expect("replacement cache lock").insert(key, summary);
+        Ok(summary)
+    }
+}
+
+/// Builds [`CircuitArtifacts`] and evaluates the four schemes against them.
+#[derive(Debug, Clone, Default)]
+pub struct SynthesisPipeline {
+    ctx: SchemeContext,
+}
+
+impl SynthesisPipeline {
+    /// Creates a pipeline evaluating under `ctx`.
+    #[must_use]
+    pub fn new(ctx: SchemeContext) -> Self {
+        Self { ctx }
+    }
+
+    /// The pipeline's evaluation context.
+    #[must_use]
+    pub fn context(&self) -> &SchemeContext {
+        &self.ctx
+    }
+
+    /// Runs the scheme-independent front of the flow for one circuit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist analysis and tree-construction failures.
+    pub fn prepare(&self, netlist: &Netlist) -> Result<CircuitArtifacts, DiacError> {
+        CircuitArtifacts::build(netlist, &self.ctx)
+    }
+
+    /// Evaluates one scheme against prepared artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and evaluation failures.
+    pub fn evaluate(
+        &self,
+        artifacts: &CircuitArtifacts,
+        kind: SchemeKind,
+    ) -> Result<SchemeResult, DiacError> {
+        self.evaluate_in(artifacts, &self.ctx, kind)
+    }
+
+    /// Evaluates one scheme under a sweep context that may differ from the
+    /// pipeline's in policy, NVM technology, replacement budget, profile or
+    /// calibration — the knobs [`crate::explore::Explorer`] varies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiacError::InvalidConfig`] when `ctx` differs from the
+    /// artifacts in the library or tree configuration (stale artifacts), and
+    /// propagates evaluation failures.
+    pub fn evaluate_in(
+        &self,
+        artifacts: &CircuitArtifacts,
+        ctx: &SchemeContext,
+        kind: SchemeKind,
+    ) -> Result<SchemeResult, DiacError> {
+        artifacts.check_context(ctx)?;
+        evaluate_scheme_with(artifacts, ctx, spec_for(kind))
+    }
+
+    /// Evaluates all four schemes against prepared artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and evaluation failures.
+    pub fn compare_all(&self, artifacts: &CircuitArtifacts) -> Result<SchemeComparison, DiacError> {
+        self.compare_all_in(artifacts, &self.ctx)
+    }
+
+    /// Evaluates all four schemes under a sweep context (see
+    /// [`Self::evaluate_in`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and evaluation failures.
+    pub fn compare_all_in(
+        &self,
+        artifacts: &CircuitArtifacts,
+        ctx: &SchemeContext,
+    ) -> Result<SchemeComparison, DiacError> {
+        artifacts.check_context(ctx)?;
+        let mut results = Vec::with_capacity(SchemeKind::ALL.len());
+        for kind in SchemeKind::ALL {
+            results.push(evaluate_scheme_with(artifacts, ctx, spec_for(kind))?);
+        }
+        Ok(SchemeComparison { circuit: artifacts.name().to_string(), results })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::suite::BenchmarkSuite;
+
+    fn circuit(name: &str) -> Netlist {
+        BenchmarkSuite::diac_paper().materialize(name).unwrap()
+    }
+
+    #[test]
+    fn prepared_artifacts_evaluate_all_schemes() {
+        let pipeline = SynthesisPipeline::default();
+        let artifacts = pipeline.prepare(&circuit("s298")).unwrap();
+        for kind in SchemeKind::ALL {
+            let result = pipeline.evaluate(&artifacts, kind).unwrap();
+            assert_eq!(result.kind, kind);
+            assert!(result.breakdown.pdp() > 0.0);
+        }
+    }
+
+    #[test]
+    fn the_two_diac_schemes_share_one_replacement_run() {
+        let pipeline = SynthesisPipeline::default();
+        let artifacts = pipeline.prepare(&circuit("s344")).unwrap();
+        let comparison = pipeline.compare_all(&artifacts).unwrap();
+        assert_eq!(comparison.results.len(), 4);
+        // DIAC and optimized DIAC share (policy, technology, budget), so the
+        // full comparison performs exactly one replacement run.
+        assert_eq!(artifacts.cached_replacements(), 1);
+        let diac = comparison.result(SchemeKind::Diac).unwrap();
+        let opt = comparison.result(SchemeKind::DiacOptimized).unwrap();
+        assert_eq!(diac.replacement, opt.replacement);
+    }
+
+    #[test]
+    fn sweeping_the_technology_reuses_the_tree_but_not_the_summary() {
+        let pipeline = SynthesisPipeline::default();
+        let artifacts = pipeline.prepare(&circuit("s386")).unwrap();
+        for technology in NvmTechnology::ALL {
+            let ctx = pipeline.context().clone().with_nvm(technology);
+            let result = pipeline.evaluate_in(&artifacts, &ctx, SchemeKind::DiacOptimized).unwrap();
+            assert!(result.replacement.is_some(), "{technology}");
+        }
+        assert_eq!(artifacts.cached_replacements(), NvmTechnology::ALL.len());
+    }
+
+    #[test]
+    fn stale_artifacts_are_rejected_instead_of_reused() {
+        let pipeline = SynthesisPipeline::default();
+        let artifacts = pipeline.prepare(&circuit("s27")).unwrap();
+        let mut ctx = pipeline.context().clone();
+        ctx.tree_config.gates_per_operand = 3;
+        let err = pipeline.evaluate_in(&artifacts, &ctx, SchemeKind::Diac).unwrap_err();
+        assert!(matches!(err, DiacError::InvalidConfig { .. }));
+        let mut ctx = pipeline.context().clone();
+        ctx.calibration.comb_activity *= 2.0;
+        let err = pipeline.compare_all_in(&artifacts, &ctx).unwrap_err();
+        assert!(matches!(err, DiacError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn artifacts_expose_the_clustered_tree() {
+        let pipeline = SynthesisPipeline::default();
+        let artifacts = pipeline.prepare(&circuit("s27")).unwrap();
+        assert_eq!(artifacts.name(), "s27");
+        assert!(!artifacts.operand_tree().is_empty());
+        assert!(artifacts.operand_tree().validate().is_ok());
+    }
+}

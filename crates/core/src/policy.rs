@@ -144,11 +144,8 @@ fn split_pass(
     library: &CellLibrary,
 ) -> Result<usize, DiacError> {
     let mut splits = 0;
-    let candidates: Vec<OperandId> = tree
-        .iter()
-        .filter(|o| o.dict.energy() > bounds.split_above)
-        .map(|o| o.id)
-        .collect();
+    let candidates: Vec<OperandId> =
+        tree.iter().filter(|o| o.dict.energy() > bounds.split_above).map(|o| o.id).collect();
     for id in candidates {
         let Some(op) = tree.try_operand(id) else { continue };
         let energy = op.dict.energy();
@@ -195,18 +192,12 @@ fn merge_pass(
                     // the child end has a single parent or the parent end has
                     // a single child.  Reject any other pair.
                     .filter(|n| {
-                        let (child, parent) = if o.parents.contains(&n.id) {
-                            (o, *n)
-                        } else {
-                            (*n, o)
-                        };
+                        let (child, parent) =
+                            if o.parents.contains(&n.id) { (o, *n) } else { (*n, o) };
                         child.parents.len() == 1 || parent.children.len() == 1
                     })
                     .min_by(|a, b| {
-                        a.dict
-                            .energy()
-                            .partial_cmp(&b.dict.energy())
-                            .expect("finite energies")
+                        a.dict.energy().partial_cmp(&b.dict.energy()).expect("finite energies")
                     })?;
                 Some((o.id, best.id))
             })
@@ -336,8 +327,7 @@ mod tests {
     #[test]
     fn relative_bounds_scale_with_the_tree() {
         let nl = parse_bench("s27", netlist::embedded::S27_BENCH).unwrap();
-        let tree =
-            OperandTree::from_netlist(&nl, &lib(), &TreeGeneratorConfig::default()).unwrap();
+        let tree = OperandTree::from_netlist(&nl, &lib(), &TreeGeneratorConfig::default()).unwrap();
         let bounds = PolicyBounds::relative_to(&tree, 0.4, 0.05);
         assert!(bounds.is_consistent());
         assert!(bounds.split_above < tree.total_energy());

@@ -61,10 +61,7 @@ impl ReplacementConfig {
     pub fn validate(&self) -> Result<(), DiacError> {
         if !(0.0..=1.0).contains(&self.budget_fraction) || self.budget_fraction == 0.0 {
             return Err(DiacError::InvalidConfig {
-                message: format!(
-                    "budget_fraction must be in (0, 1], got {}",
-                    self.budget_fraction
-                ),
+                message: format!("budget_fraction must be in (0, 1], got {}", self.budget_fraction),
             });
         }
         if self.word_bits == 0 || self.bits_per_signal == 0 {
@@ -283,17 +280,13 @@ mod tests {
 
     #[test]
     fn bad_configs_are_rejected() {
-        let mut c = ReplacementConfig::default();
-        c.budget_fraction = 0.0;
+        let c = ReplacementConfig { budget_fraction: 0.0, ..ReplacementConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = ReplacementConfig::default();
-        c.budget_fraction = 1.5;
+        let c = ReplacementConfig { budget_fraction: 1.5, ..ReplacementConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = ReplacementConfig::default();
-        c.word_bits = 0;
+        let c = ReplacementConfig { word_bits: 0, ..ReplacementConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = ReplacementConfig::default();
-        c.bits_per_signal = 0;
+        let c = ReplacementConfig { bits_per_signal: 0, ..ReplacementConfig::default() };
         assert!(c.validate().is_err());
     }
 
@@ -316,11 +309,8 @@ mod tests {
         let config = ReplacementConfig { budget_fraction: 0.10, ..ReplacementConfig::default() };
         let enhanced = insert_nvm_boundaries(tree, &config).unwrap();
         let budget = enhanced.summary().energy_budget;
-        let biggest_operand: Energy = enhanced
-            .tree()
-            .iter()
-            .map(|o| o.dict.energy())
-            .fold(Energy::ZERO, Energy::max);
+        let biggest_operand: Energy =
+            enhanced.tree().iter().map(|o| o.dict.energy()).fold(Energy::ZERO, Energy::max);
         // A boundary is inserted as soon as the budget is exceeded, so no node
         // can accumulate more than budget + its own energy.
         assert!(enhanced.summary().max_unsaved_energy <= budget + biggest_operand * 2.0);
@@ -357,10 +347,7 @@ mod tests {
             .map(|&id| enhanced.tree().operand(id).dict.boundary_bits)
             .sum();
         assert_eq!(bits_from_tree, enhanced.summary().total_boundary_bits);
-        assert_eq!(
-            enhanced.tree().boundary_operands().len(),
-            enhanced.summary().boundaries
-        );
+        assert_eq!(enhanced.tree().boundary_operands().len(), enhanced.summary().boundaries);
     }
 
     #[test]

@@ -37,9 +37,10 @@ use tech45::units::{Energy, Seconds};
 
 use crate::error::DiacError;
 use crate::pdp::{IntermittencyProfile, PdpBreakdown};
-use crate::policy::{apply_policy, Policy, PolicyBounds};
-use crate::replacement::{insert_nvm_boundaries, ReplacementConfig, ReplacementSummary};
-use crate::tree::{OperandTree, TreeGeneratorConfig};
+use crate::pipeline::CircuitArtifacts;
+use crate::policy::Policy;
+use crate::replacement::{ReplacementConfig, ReplacementSummary};
+use crate::tree::TreeGeneratorConfig;
 
 /// Which of the four schemes is being evaluated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -285,20 +286,20 @@ impl SchemeComparison {
 
 /// Structural/energetic figures shared by all schemes for one circuit.
 #[derive(Debug, Clone, Copy)]
-struct CircuitFigures {
+pub(crate) struct CircuitFigures {
     comb_energy: Energy,
     comb_delay: Seconds,
     flip_flops: u64,
     state_bits: u64,
 }
 
-fn circuit_figures(netlist: &Netlist, ctx: &SchemeContext) -> Result<CircuitFigures, DiacError> {
+pub(crate) fn circuit_figures(
+    netlist: &Netlist,
+    ctx: &SchemeContext,
+) -> Result<CircuitFigures, DiacError> {
     let levels = levelize(netlist)?;
-    let cells: Vec<_> = netlist
-        .iter()
-        .filter(|g| g.kind.is_combinational())
-        .flat_map(|g| g.cells())
-        .collect();
+    let cells: Vec<_> =
+        netlist.iter().filter(|g| g.kind.is_combinational()).flat_map(|g| g.cells()).collect();
     let estimate = tech45::energy_model::OperandProfile::from_gates(cells)
         .with_depth(levels.depth().max(1) as usize)
         .with_activity(ctx.calibration.comb_activity)
@@ -324,9 +325,22 @@ fn evaluation_cost(
     (energy, delay)
 }
 
-/// Evaluates one scheme on one circuit.
-pub(crate) fn evaluate_scheme(
-    netlist: &Netlist,
+/// The spec of one scheme kind.
+pub(crate) fn spec_for(kind: SchemeKind) -> &'static dyn SchemeSpec {
+    match kind {
+        SchemeKind::NvBased => &NvBased,
+        SchemeKind::NvClustering => &NvClustering,
+        SchemeKind::Diac => &Diac,
+        SchemeKind::DiacOptimized => &DiacOptimized,
+    }
+}
+
+/// Evaluates one scheme against prepared circuit artifacts.  The expensive
+/// scheme-independent products (figures, operand tree, policy restructuring,
+/// NVM replacement) come from the artifact caches; everything per-scheme is
+/// recomputed here.
+pub(crate) fn evaluate_scheme_with(
+    artifacts: &CircuitArtifacts,
     ctx: &SchemeContext,
     spec: &dyn SchemeSpec,
 ) -> Result<SchemeResult, DiacError> {
@@ -336,7 +350,7 @@ pub(crate) fn evaluate_scheme(
         });
     }
     let calibration = &ctx.calibration;
-    let figures = circuit_figures(netlist, ctx)?;
+    let figures = *artifacts.figures();
 
     // Run-time cost of the scheme's state elements vs. a volatile design.
     let volatile = FlipFlopModel::for_kind(FlipFlopKind::Volatile, &ctx.library);
@@ -347,17 +361,8 @@ pub(crate) fn evaluate_scheme(
     let runtime_delay_factor = t_eval.ratio(t_eval_ref);
 
     // DIAC schemes run the tree flow to find their backup boundaries.
-    let replacement = if spec.needs_tree() {
-        let mut tree = OperandTree::from_netlist(netlist, &ctx.library, &ctx.tree_config)?;
-        let bounds = PolicyBounds::relative_to(&tree, 0.25, 0.02);
-        apply_policy(&mut tree, ctx.policy, &bounds, &ctx.library)?;
-        let mut replacement_config = ctx.replacement;
-        replacement_config.technology = ctx.nvm;
-        let enhanced = insert_nvm_boundaries(tree, &replacement_config)?;
-        Some(*enhanced.summary())
-    } else {
-        None
-    };
+    let replacement =
+        if spec.needs_tree() { Some(artifacts.replacement_summary(ctx)?) } else { None };
 
     // --- task-level accounting ----------------------------------------------
     let task_energy_ref = calibration.task_compute_energy;
@@ -375,12 +380,11 @@ pub(crate) fn evaluate_scheme(
     // Backup / restore cost per event, scaled by the NVM technology.
     let cell = NvmCell::for_technology(ctx.nvm);
     let write_ratio = cell.write_energy_vs_mram();
-    let latency_ratio = cell
-        .write_latency
-        .ratio(NvmCell::for_technology(NvmTechnology::Mram).write_latency);
+    let latency_ratio =
+        cell.write_latency.ratio(NvmCell::for_technology(NvmTechnology::Mram).write_latency);
     let bits = spec.bits_per_backup(figures.state_bits, replacement.as_ref(), calibration);
-    let backup_energy_per_event = calibration.backup_fixed_energy
-        + calibration.backup_energy_per_bit * (bits * write_ratio);
+    let backup_energy_per_event =
+        calibration.backup_fixed_energy + calibration.backup_energy_per_bit * (bits * write_ratio);
     let backup_latency_per_event = calibration.backup_fixed_latency
         + calibration.backup_latency_per_bit * (bits * latency_ratio);
     let restore_energy_per_event = backup_energy_per_event * calibration.restore_cost_ratio;
@@ -417,7 +421,7 @@ pub(crate) fn evaluate_scheme(
 
     Ok(SchemeResult {
         kind: spec.kind(),
-        circuit: netlist.name().to_string(),
+        circuit: artifacts.name().to_string(),
         breakdown,
         runtime_energy_factor,
         runtime_delay_factor,
@@ -428,6 +432,11 @@ pub(crate) fn evaluate_scheme(
 
 /// Evaluates all four schemes on one circuit.
 ///
+/// The netlist is parsed, levelized and clustered into the operand tree
+/// exactly once; the four schemes share those artifacts through
+/// [`CircuitArtifacts`], and the two DIAC variants additionally share one
+/// policy + replacement run.
+///
 /// # Errors
 ///
 /// Propagates netlist analysis, tree construction and configuration errors.
@@ -435,12 +444,12 @@ pub fn compare_all_schemes(
     netlist: &Netlist,
     ctx: &SchemeContext,
 ) -> Result<SchemeComparison, DiacError> {
-    let specs: [&dyn SchemeSpec; 4] = [&NvBased, &NvClustering, &Diac, &DiacOptimized];
-    let mut results = Vec::with_capacity(specs.len());
-    for spec in specs {
-        results.push(evaluate_scheme(netlist, ctx, spec)?);
+    let artifacts = CircuitArtifacts::build(netlist, ctx)?;
+    let mut results = Vec::with_capacity(SchemeKind::ALL.len());
+    for kind in SchemeKind::ALL {
+        results.push(evaluate_scheme_with(&artifacts, ctx, spec_for(kind))?);
     }
-    Ok(SchemeComparison { circuit: netlist.name().to_string(), results })
+    Ok(SchemeComparison { circuit: artifacts.name().to_string(), results })
 }
 
 #[cfg(test)]
@@ -519,13 +528,10 @@ mod tests {
     #[test]
     fn reram_widens_the_gap_as_the_paper_argues() {
         let circuit = circuit("s526");
-        let mram_cmp =
-            compare_all_schemes(&circuit, &SchemeContext::default()).unwrap();
-        let reram_cmp = compare_all_schemes(
-            &circuit,
-            &SchemeContext::default().with_nvm(NvmTechnology::Reram),
-        )
-        .unwrap();
+        let mram_cmp = compare_all_schemes(&circuit, &SchemeContext::default()).unwrap();
+        let reram_cmp =
+            compare_all_schemes(&circuit, &SchemeContext::default().with_nvm(NvmTechnology::Reram))
+                .unwrap();
         let mram_gain = mram_cmp.improvement(SchemeKind::DiacOptimized, SchemeKind::NvBased);
         let reram_gain = reram_cmp.improvement(SchemeKind::DiacOptimized, SchemeKind::NvBased);
         assert!(

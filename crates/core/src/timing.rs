@@ -110,10 +110,8 @@ pub fn validate_timing(enhanced: &NvEnhancedTree, constraints: &TimingConstraint
 
     // Longest delay accumulated since the last NVM boundary, per operand.
     let mut unprotected: HashMap<OperandId, Seconds> = HashMap::new();
-    let mut report = TimingReport {
-        critical_path: tree.critical_path(),
-        ..TimingReport::default()
-    };
+    let mut report =
+        TimingReport { critical_path: tree.critical_path(), ..TimingReport::default() };
 
     for id in tree.topological_order() {
         let op = tree.operand(id);

@@ -13,6 +13,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::mem;
 
 use netlist::levelize::levelize;
 use netlist::{GateId, Netlist};
@@ -191,28 +192,20 @@ impl OperandTree {
                     }
                 }
                 let read_outside = fanouts[g.index()].iter().any(|r| !member.contains(r));
-                let feeds_ff = fanouts[g.index()]
-                    .iter()
-                    .any(|&r| netlist.gate(r).kind.is_sequential());
+                let feeds_ff =
+                    fanouts[g.index()].iter().any(|&r| netlist.gate(r).kind.is_sequential());
                 if read_outside || feeds_ff || po_set.contains(&g) {
                     external_outputs.insert(g);
                 }
             }
-            let cells: Vec<_> = operand
-                .gates
-                .iter()
-                .flat_map(|&g| netlist.gate(g).cells())
-                .collect();
+            let cells: Vec<_> =
+                operand.gates.iter().flat_map(|&g| netlist.gate(g).cells()).collect();
             let estimate = OperandProfile::from_gates(cells)
                 .with_depth(gate_levels.len().max(1))
                 .with_activity(config.activity)
                 .estimate(library);
-            operand.dict = FeatureDict::new(
-                external_inputs.len(),
-                external_outputs.len().max(1),
-                0,
-                estimate,
-            );
+            operand.dict =
+                FeatureDict::new(external_inputs.len(), external_outputs.len().max(1), 0, estimate);
         }
 
         let mut tree = Self {
@@ -435,31 +428,40 @@ impl OperandTree {
                 message: "splitting requires at least two parts".to_string(),
             });
         }
-        let original = self.operand(id).clone();
-        let gate_based = !original.gates.is_empty();
-        if gate_based && original.gates.len() < parts {
+        // Take ownership of the pieces we redistribute instead of cloning the
+        // whole node — the original is retired below, so its gate and edge
+        // lists would only be dropped otherwise (this runs inside the policy
+        // loop, once per oversized operand).
+        let original_dict = self.operand(id).dict;
+        let original_name = self.operand(id).name.clone();
+        let gate_count = self.operand(id).gates.len();
+        let gate_based = gate_count != 0;
+        if gate_based && gate_count < parts {
             return Err(DiacError::InvalidConfig {
                 message: format!(
-                    "operand {} has only {} gates, cannot split into {} parts",
-                    original.name,
-                    original.gates.len(),
-                    parts
+                    "operand {original_name} has only {gate_count} gates, cannot split into \
+                     {parts} parts",
                 ),
             });
         }
+        let node = &mut self.operands[id.index()];
+        let original_gates = mem::take(&mut node.gates);
+        let original_children = mem::take(&mut node.children);
+        let original_parents = mem::take(&mut node.parents);
+        node.alive = false;
 
         // Prepare the per-part gate lists / estimates.
         let mut part_gates: Vec<Vec<GateId>> = vec![Vec::new(); parts];
         if gate_based {
-            let chunk = original.gates.len().div_ceil(parts);
-            for (i, g) in original.gates.iter().enumerate() {
-                part_gates[(i / chunk).min(parts - 1)].push(*g);
+            let chunk = gate_count.div_ceil(parts);
+            for (i, g) in original_gates.into_iter().enumerate() {
+                part_gates[(i / chunk).min(parts - 1)].push(g);
             }
         }
         let explicit_estimate = if gate_based {
             None
         } else {
-            let e = original.dict.estimate;
+            let e = original_dict.estimate;
             Some(EnergyEstimate {
                 dynamic: e.dynamic / parts as f64,
                 static_: e.static_ / parts as f64,
@@ -469,25 +471,23 @@ impl OperandTree {
             })
         };
 
-        // Retire the original and create the chain.
-        self.operands[id.index()].alive = false;
+        // Create the chain.
         let mut new_ids = Vec::with_capacity(parts);
         for (i, gates) in part_gates.into_iter().enumerate() {
             let new_id = OperandId(self.operands.len() as u32);
             // Gate-based parts get a placeholder estimate here and are
             // re-estimated from their gates once the chain is wired up.
             let estimate = explicit_estimate.unwrap_or_default();
-            let children = if i == 0 { original.children.clone() } else { vec![new_ids[i - 1]] };
-            let parents = if i + 1 == parts { original.parents.clone() } else { Vec::new() };
-            let fan_in = if i == 0 { original.dict.fan_in } else { 1 };
-            let fan_out = if i + 1 == parts { original.dict.fan_out } else { 1 };
-            let dict = FeatureDict::new(fan_in, fan_out, original.dict.level, estimate);
+            let children = if i == 0 { Vec::new() } else { vec![new_ids[i - 1]] };
+            let fan_in = if i == 0 { original_dict.fan_in } else { 1 };
+            let fan_out = if i + 1 == parts { original_dict.fan_out } else { 1 };
+            let dict = FeatureDict::new(fan_in, fan_out, original_dict.level, estimate);
             self.operands.push(Operand {
                 id: new_id,
-                name: format!("{}_{}", original.name, i),
+                name: format!("{original_name}_{i}"),
                 gates,
                 children,
-                parents,
+                parents: Vec::new(),
                 dict,
                 alive: true,
             });
@@ -501,7 +501,7 @@ impl OperandTree {
         // Re-point the surrounding operands at the chain ends.
         let first = new_ids[0];
         let last = new_ids[parts - 1];
-        for &child in &original.children {
+        for &child in &original_children {
             if let Some(op) = self.operands.get_mut(child.index()) {
                 for p in &mut op.parents {
                     if *p == id {
@@ -510,7 +510,7 @@ impl OperandTree {
                 }
             }
         }
-        for &parent in &original.parents {
+        for &parent in &original_parents {
             if let Some(op) = self.operands.get_mut(parent.index()) {
                 for c in &mut op.children {
                     if *c == id {
@@ -519,6 +519,10 @@ impl OperandTree {
                 }
             }
         }
+        // Hand the original's edge lists to the chain ends (the first part
+        // inherits the children, the last part the parents).
+        self.operands[first.index()].children = original_children;
+        self.operands[last.index()].parents.extend(original_parents);
         // Recompute estimates of the gate-based parts.
         if gate_based {
             for &nid in &new_ids {
@@ -553,24 +557,30 @@ impl OperandTree {
                 message: "cannot merge retired operands".to_string(),
             });
         }
-        let b_node = self.operands[b.index()].clone();
+        // Take ownership of b's pieces instead of cloning the node — b is
+        // retired here, and this runs inside the policy loop, once per
+        // undersized operand pair.
+        let b_dict = self.operands[b.index()].dict;
+        let b_gates = mem::take(&mut self.operands[b.index()].gates);
+        let b_children = mem::take(&mut self.operands[b.index()].children);
+        let b_parents = mem::take(&mut self.operands[b.index()].parents);
         self.operands[b.index()].alive = false;
 
         // Fold b's structure into a.
         let gate_based;
         {
             let a_node = &mut self.operands[a.index()];
-            gate_based = !a_node.gates.is_empty() || !b_node.gates.is_empty();
-            a_node.gates.extend(b_node.gates.iter().copied());
-            let merged_estimate = a_node.dict.estimate.merged_with(&b_node.dict.estimate);
-            a_node.dict.fan_in += b_node.dict.fan_in;
-            a_node.dict.fan_out = (a_node.dict.fan_out + b_node.dict.fan_out).saturating_sub(1);
+            gate_based = !a_node.gates.is_empty() || !b_gates.is_empty();
+            a_node.gates.extend(b_gates);
+            let merged_estimate = a_node.dict.estimate.merged_with(&b_dict.estimate);
+            a_node.dict.fan_in += b_dict.fan_in;
+            a_node.dict.fan_out = (a_node.dict.fan_out + b_dict.fan_out).saturating_sub(1);
             a_node.dict.estimate = merged_estimate;
             a_node.dict.gate_count = merged_estimate.gate_count;
             let children: BTreeSet<OperandId> = a_node
                 .children
                 .iter()
-                .chain(b_node.children.iter())
+                .chain(b_children.iter())
                 .copied()
                 .filter(|&c| c != a && c != b)
                 .collect();
@@ -578,14 +588,17 @@ impl OperandTree {
             let parents: BTreeSet<OperandId> = a_node
                 .parents
                 .iter()
-                .chain(b_node.parents.iter())
+                .chain(b_parents.iter())
                 .copied()
                 .filter(|&p| p != a && p != b)
                 .collect();
             a_node.parents = parents.into_iter().collect();
         }
-        // Re-point every other operand that referenced b.
-        for op in &mut self.operands {
+        // Re-point the operands that referenced b.  Edges are symmetric, so
+        // only b's former neighbours can hold such references — no need to
+        // scan the whole operand table.
+        for &neighbour in b_children.iter().chain(b_parents.iter()) {
+            let Some(op) = self.operands.get_mut(neighbour.index()) else { continue };
             if !op.alive || op.id == a {
                 continue;
             }
@@ -632,8 +645,7 @@ impl OperandTree {
         }
         let cells = vec![tech45::cells::CellKind::Nand2; op.gates.len()];
         let activity = tech45::constants::DEFAULT_ACTIVITY;
-        let estimate =
-            OperandProfile::from_gates(cells).with_activity(activity).estimate(library);
+        let estimate = OperandProfile::from_gates(cells).with_activity(activity).estimate(library);
         let op = &mut self.operands[id.index()];
         op.dict.estimate = estimate;
         op.dict.gate_count = estimate.gate_count;
@@ -788,10 +800,8 @@ impl OperandTreeBuilder {
             });
         }
         // Fill in the parent lists.
-        let edges: Vec<(OperandId, OperandId)> = operands
-            .iter()
-            .flat_map(|o| o.children.iter().map(move |&c| (c, o.id)))
-            .collect();
+        let edges: Vec<(OperandId, OperandId)> =
+            operands.iter().flat_map(|o| o.children.iter().map(move |&c| (c, o.id))).collect();
         for (child, parent) in edges {
             operands[child.index()].parents.push(parent);
         }
@@ -832,8 +842,7 @@ mod tests {
     #[test]
     fn every_combinational_gate_lands_in_exactly_one_operand() {
         let nl = parse_bench("s27", netlist::embedded::S27_BENCH).unwrap();
-        let tree =
-            OperandTree::from_netlist(&nl, &lib(), &TreeGeneratorConfig::default()).unwrap();
+        let tree = OperandTree::from_netlist(&nl, &lib(), &TreeGeneratorConfig::default()).unwrap();
         let clustered: usize = tree.iter().map(|o| o.gates.len()).sum();
         assert_eq!(clustered, nl.combinational_count());
     }
@@ -919,9 +928,7 @@ mod tests {
             .node("A", mj(1.0), ms(1.0), &[])
             .build();
         assert!(matches!(dup, Err(DiacError::InvalidTree { .. })));
-        let unknown = OperandTree::builder("unk")
-            .node("A", mj(1.0), ms(1.0), &["ghost"])
-            .build();
+        let unknown = OperandTree::builder("unk").node("A", mj(1.0), ms(1.0), &["ghost"]).build();
         assert!(matches!(unknown, Err(DiacError::InvalidTree { .. })));
     }
 
@@ -991,10 +998,8 @@ mod tests {
         let mut tree = s27_tree();
         let a = tree.iter().next().unwrap().id;
         assert!(tree.merge_operands(a, a, &lib()).is_err());
-        let (parent, child) = tree
-            .iter()
-            .find_map(|o| o.children.first().map(|&c| (o.id, c)))
-            .expect("edge");
+        let (parent, child) =
+            tree.iter().find_map(|o| o.children.first().map(|&c| (o.id, c))).expect("edge");
         tree.merge_operands(parent, child, &lib()).unwrap();
         assert!(tree.merge_operands(parent, child, &lib()).is_err());
     }
@@ -1013,8 +1018,7 @@ mod tests {
     #[test]
     fn large_circuit_tree_generation_scales() {
         let nl = BenchmarkSuite::diac_paper().materialize("s526").unwrap();
-        let tree =
-            OperandTree::from_netlist(&nl, &lib(), &TreeGeneratorConfig::default()).unwrap();
+        let tree = OperandTree::from_netlist(&nl, &lib(), &TreeGeneratorConfig::default()).unwrap();
         assert!(tree.len() >= 657 / 8);
         assert!(tree.validate().is_ok());
     }

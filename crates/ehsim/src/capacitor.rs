@@ -3,7 +3,9 @@
 use std::fmt;
 
 use tech45::constants::{E_MAX, STORAGE_CAPACITANCE, VDD_SYSTEM};
-use tech45::units::{capacitor_energy, capacitor_voltage, Capacitance, Energy, Power, Seconds, Voltage};
+use tech45::units::{
+    capacitor_energy, capacitor_voltage, Capacitance, Energy, Power, Seconds, Voltage,
+};
 
 /// A storage capacitor that accumulates harvested energy and supplies the
 /// node's operations — the paper's "virtual energy source ... responsible for

@@ -274,10 +274,7 @@ mod tests {
         let mut pmu = PowerManagementUnit::new(Thresholds::paper_default());
         assert!(pmu.observe(Energy::from_millijoules(20.0)).contains(&PowerEvent::PowerRestored));
         assert_eq!(pmu.observe(Energy::from_millijoules(15.0)), vec![]);
-        assert_eq!(
-            pmu.observe(Energy::from_millijoules(5.0)),
-            vec![PowerEvent::EnteredSafeZone]
-        );
+        assert_eq!(pmu.observe(Energy::from_millijoules(5.0)), vec![PowerEvent::EnteredSafeZone]);
         assert_eq!(
             pmu.observe(Energy::from_millijoules(10.0)),
             vec![PowerEvent::RecoveredFromSafeZone]
@@ -289,18 +286,12 @@ mod tests {
     fn pmu_raises_backup_then_power_lost() {
         let mut pmu = PowerManagementUnit::new(Thresholds::paper_default());
         pmu.observe(Energy::from_millijoules(20.0));
-        assert_eq!(
-            pmu.observe(Energy::from_millijoules(3.5)),
-            vec![PowerEvent::BackupInterrupt]
-        );
+        assert_eq!(pmu.observe(Energy::from_millijoules(3.5)), vec![PowerEvent::BackupInterrupt]);
         assert_eq!(pmu.observe(Energy::from_millijoules(1.0)), vec![PowerEvent::PowerLost]);
         assert!(pmu.needs_restore());
         // Recovery through the safe zone does not count as restored yet.
         assert_eq!(pmu.observe(Energy::from_millijoules(5.0)), vec![]);
-        assert_eq!(
-            pmu.observe(Energy::from_millijoules(20.0)),
-            vec![PowerEvent::PowerRestored]
-        );
+        assert_eq!(pmu.observe(Energy::from_millijoules(20.0)), vec![PowerEvent::PowerRestored]);
         assert!(!pmu.needs_restore());
     }
 

@@ -129,10 +129,7 @@ impl Schedule {
         }
         let mut total_energy = 0.0;
         for (i, &(start, power)) in self.segments.iter().enumerate() {
-            let end = self
-                .segments
-                .get(i + 1)
-                .map_or(self.duration, |&(next_start, _)| next_start);
+            let end = self.segments.get(i + 1).map_or(self.duration, |&(next_start, _)| next_start);
             total_energy += power.as_watts() * (end - start).as_seconds().max(0.0);
         }
         Power::new(total_energy / self.duration.as_seconds())
@@ -166,11 +163,7 @@ mod tests {
     fn average_power_is_between_min_and_max_segment() {
         for sched in [Schedule::fig4(), Schedule::plentiful(), Schedule::scarce()] {
             let avg = sched.average_power();
-            let max = sched
-                .segments()
-                .iter()
-                .map(|&(_, p)| p.as_watts())
-                .fold(0.0_f64, f64::max);
+            let max = sched.segments().iter().map(|&(_, p)| p.as_watts()).fold(0.0_f64, f64::max);
             assert!(avg.as_watts() >= 0.0 && avg.as_watts() <= max, "{}", sched.name());
         }
     }

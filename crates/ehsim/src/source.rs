@@ -91,11 +91,8 @@ impl RfidSource {
                 return (start, end);
             }
         }
-        let jitter_start = if self.jitter > 0.0 {
-            self.rng.gen_range(-self.jitter..self.jitter)
-        } else {
-            0.0
-        };
+        let jitter_start =
+            if self.jitter > 0.0 { self.rng.gen_range(-self.jitter..self.jitter) } else { 0.0 };
         let start = (jitter_start).clamp(0.0, 1.0 - self.duty_cycle);
         let end = (start + self.duty_cycle).min(1.0);
         self.cached_cycle = Some((cycle, start, end));
@@ -195,15 +192,7 @@ impl MarkovSource {
         let mut rng = StdRng::seed_from_u64(seed);
         let first: f64 = rng.gen::<f64>().max(1e-9);
         let next_switch = -mean_on.as_seconds() * first.ln();
-        Self {
-            on_power,
-            mean_on,
-            mean_off,
-            rng,
-            state_on: true,
-            next_switch,
-            last_time: 0.0,
-        }
+        Self { on_power, mean_on, mean_off, rng, state_on: true, next_switch, last_time: 0.0 }
     }
 }
 
@@ -412,7 +401,9 @@ mod tests {
                 Seconds::new(7.0),
                 seed,
             );
-            (0..500).map(|i| s.power_at(Seconds::new(i as f64 * 0.5)).as_watts()).collect::<Vec<_>>()
+            (0..500)
+                .map(|i| s.power_at(Seconds::new(i as f64 * 0.5)).as_watts())
+                .collect::<Vec<_>>()
         };
         assert_eq!(collect(5), collect(5));
         assert_ne!(collect(5), collect(6));

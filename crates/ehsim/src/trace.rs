@@ -85,9 +85,7 @@ impl TraceRecorder {
             return self.samples.iter().collect();
         }
         let stride = self.samples.len() as f64 / max_points as f64;
-        (0..max_points)
-            .map(|i| &self.samples[(i as f64 * stride) as usize])
-            .collect()
+        (0..max_points).map(|i| &self.samples[(i as f64 * stride) as usize]).collect()
     }
 
     /// The minimum stored energy seen over the run.

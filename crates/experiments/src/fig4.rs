@@ -67,17 +67,17 @@ impl Fig4Result {
         self.trace
             .downsampled(points)
             .into_iter()
-            .map(|s| {
-                (s.time.as_seconds(), s.stored.as_millijoules(), s.harvest.as_milliwatts())
-            })
+            .map(|s| (s.time.as_seconds(), s.stored.as_millijoules(), s.harvest.as_milliwatts()))
             .collect()
     }
 
     /// A summary table of the run and the scenario checklist.
     #[must_use]
     pub fn summary_table(&self) -> Table {
-        let mut table =
-            Table::new("Fig. 4 — FSM validation under the engineered schedule", &["metric", "value"]);
+        let mut table = Table::new(
+            "Fig. 4 — FSM validation under the engineered schedule",
+            &["metric", "value"],
+        );
         let yes_no = |b: bool| if b { "yes" } else { "NO" }.to_string();
         let rows: Vec<(&str, String)> = vec![
             ("samples sensed", self.stats.samples_sensed.to_string()),
@@ -125,8 +125,7 @@ pub fn run_with(config: FsmConfig, duration: Seconds, dt: Seconds) -> Fig4Result
     let mut exec = IntermittentExecutor::new(config, Schedule::fig4())
         .with_initial_energy(tech45::units::Energy::from_millijoules(3.5));
     let (stats, trace) = exec.run_with_trace(duration, dt);
-    let reached_full =
-        trace.max_stored().map(|e| e.as_millijoules() > 24.0).unwrap_or(false);
+    let reached_full = trace.max_stored().map(|e| e.as_millijoules() > 24.0).unwrap_or(false);
     let scenarios = Fig4Scenarios {
         reached_full_capacity: reached_full,
         starved_in_sleep: stats.time_in(isim::state::NodeState::Sleep).as_seconds() > 100.0,
@@ -173,11 +172,7 @@ mod tests {
 
     #[test]
     fn csv_export_has_one_row_per_sample() {
-        let result = run_with(
-            FsmConfig::paper_default(),
-            Seconds::new(500.0),
-            Seconds::new(0.5),
-        );
+        let result = run_with(FsmConfig::paper_default(), Seconds::new(500.0), Seconds::new(0.5));
         let csv = result.to_csv();
         assert_eq!(csv.lines().count(), 1 + result.trace.len());
     }

@@ -5,11 +5,12 @@
 //! the shared PDP model and normalised against the NV-based baseline — the
 //! exact quantity plotted in the paper's Fig. 5.
 
-use diac_core::schemes::{compare_all_schemes, SchemeComparison, SchemeContext, SchemeKind};
+use diac_core::schemes::{SchemeComparison, SchemeContext, SchemeKind};
 use diac_core::DiacError;
 use netlist::suite::{BenchmarkSuite, SuiteKind};
 
 use crate::report::{norm, Table};
+use crate::suite_runner::SuiteRunner;
 
 /// One row of the Fig. 5 data: one circuit, four normalized PDP values.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,23 +107,37 @@ fn row_from(comparison: &SchemeComparison, suite: SuiteKind, gates: usize) -> Fi
     Fig5Row { circuit: comparison.circuit.clone(), suite, gates, normalized, pdp }
 }
 
-/// Runs Fig. 5 over an explicit benchmark suite.
+/// Runs Fig. 5 over an explicit benchmark suite with an explicit runner —
+/// every circuit goes through the shared synthesis pipeline once, fanned out
+/// across the runner's workers, and rows come back in registry order.
+///
+/// # Errors
+///
+/// Propagates circuit materialisation and scheme-evaluation failures.
+pub fn run_on_with(
+    runner: &SuiteRunner,
+    suite: &BenchmarkSuite,
+    ctx: &SchemeContext,
+) -> Result<Fig5Result, DiacError> {
+    let rows = runner.run_suite(suite, ctx, |spec, pipeline, artifacts| {
+        let comparison = pipeline.compare_all(artifacts)?;
+        Ok(row_from(&comparison, spec.suite, spec.gates))
+    })?;
+    Ok(Fig5Result { rows })
+}
+
+/// Runs Fig. 5 over an explicit benchmark suite on all cores.
 ///
 /// # Errors
 ///
 /// Propagates circuit materialisation and scheme-evaluation failures.
 pub fn run_on(suite: &BenchmarkSuite, ctx: &SchemeContext) -> Result<Fig5Result, DiacError> {
-    let mut rows = Vec::with_capacity(suite.len());
-    for spec in suite.iter() {
-        let netlist = spec.materialize()?;
-        let comparison = compare_all_schemes(&netlist, ctx)?;
-        rows.push(row_from(&comparison, spec.suite, spec.gates));
-    }
-    Ok(Fig5Result { rows })
+    run_on_with(&SuiteRunner::new(), suite, ctx)
 }
 
 /// Runs Fig. 5 over the full 24-circuit registry with the measured
-/// intermittency profile.
+/// intermittency profile, fanned out across all cores by the parallel
+/// [`SuiteRunner`].
 ///
 /// # Errors
 ///
@@ -186,6 +201,15 @@ mod tests {
                 "{suite}: DIAC vs NV-based improvement {improvement}"
             );
         }
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_are_identical() {
+        let suite = BenchmarkSuite::diac_paper_small();
+        let ctx = SchemeContext::default();
+        let serial = run_on_with(&SuiteRunner::serial(), &suite, &ctx).unwrap();
+        let parallel = run_on_with(&SuiteRunner::new(), &suite, &ctx).unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! measured ones.
 
 use diac_core::schemes::SchemeKind;
+use diac_core::DiacError;
 use netlist::suite::SuiteKind;
 
 use crate::fig5::Fig5Result;
@@ -119,6 +120,26 @@ impl ImprovementSummary {
     }
 }
 
+/// Runs the Section IV.B aggregation over the full registry: the underlying
+/// Fig. 5 sweep is fanned out across cores by the parallel
+/// [`crate::suite_runner::SuiteRunner`].
+///
+/// # Errors
+///
+/// Propagates circuit materialisation and scheme-evaluation failures.
+pub fn run() -> Result<ImprovementSummary, DiacError> {
+    Ok(ImprovementSummary::from_fig5(&crate::fig5::run()?))
+}
+
+/// Runs the aggregation over the trimmed (≤ 1000 gate) registry.
+///
+/// # Errors
+///
+/// Propagates circuit materialisation and scheme-evaluation failures.
+pub fn run_small() -> Result<ImprovementSummary, DiacError> {
+    Ok(ImprovementSummary::from_fig5(&crate::fig5::run_small()?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,9 +147,18 @@ mod tests {
 
     #[test]
     fn paper_references_cover_the_quoted_numbers() {
-        assert_eq!(paper_reference(SuiteKind::Iscas89, SchemeKind::Diac, SchemeKind::NvBased), Some(36.0));
-        assert_eq!(paper_reference(SuiteKind::Mcnc, SchemeKind::DiacOptimized, SchemeKind::Diac), Some(38.0));
-        assert_eq!(paper_reference(SuiteKind::Iscas89, SchemeKind::NvBased, SchemeKind::Diac), None);
+        assert_eq!(
+            paper_reference(SuiteKind::Iscas89, SchemeKind::Diac, SchemeKind::NvBased),
+            Some(36.0)
+        );
+        assert_eq!(
+            paper_reference(SuiteKind::Mcnc, SchemeKind::DiacOptimized, SchemeKind::Diac),
+            Some(38.0)
+        );
+        assert_eq!(
+            paper_reference(SuiteKind::Iscas89, SchemeKind::NvBased, SchemeKind::Diac),
+            None
+        );
     }
 
     #[test]

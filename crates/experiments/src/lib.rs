@@ -20,6 +20,11 @@
 //!   resiliency).
 //! * [`report`] — plain-text/markdown/CSV table formatting shared by the
 //!   examples and benches.
+//!
+//! The circuit-sweep experiments all run through [`suite_runner`], which
+//! fans the independent per-circuit evaluations out across cores and routes
+//! each circuit through the shared
+//! [`diac_core::pipeline::SynthesisPipeline`] exactly once.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,12 +37,14 @@ pub mod nvm_sensitivity;
 pub mod policy_ablation;
 pub mod report;
 pub mod safe_zone;
+pub mod suite_runner;
 
 pub use fig2::Fig2Result;
 pub use fig4::Fig4Result;
 pub use fig5::{Fig5Result, Fig5Row};
 pub use improvements::ImprovementSummary;
 pub use report::Table;
+pub use suite_runner::SuiteRunner;
 
 use diac_core::pdp::IntermittencyProfile;
 use diac_core::schemes::SchemeContext;

@@ -7,13 +7,13 @@
 //! fewest NVM writes.  This experiment re-runs the Fig. 5 pipeline on a
 //! subset of circuits for each technology.
 
-use diac_core::schemes::SchemeKind;
+use diac_core::schemes::{SchemeContext, SchemeKind};
 use diac_core::DiacError;
 use netlist::suite::BenchmarkSuite;
 use tech45::nvm::NvmTechnology;
 
-use crate::fig5;
 use crate::report::Table;
+use crate::suite_runner::SuiteRunner;
 
 /// Result for one NVM technology.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,12 +47,7 @@ impl NvmSensitivity {
     pub fn to_table(&self) -> Table {
         let mut table = Table::new(
             "Section IV.C — NVM technology sensitivity (averages over the trimmed suite)",
-            &[
-                "technology",
-                "optimized DIAC normalized PDP",
-                "vs NV-based (%)",
-                "vs DIAC (%)",
-            ],
+            &["technology", "optimized DIAC normalized PDP", "vs NV-based (%)", "vs DIAC (%)"],
         );
         for row in &self.rows {
             table.push_row(vec![
@@ -66,38 +61,71 @@ impl NvmSensitivity {
     }
 }
 
+/// Runs the sensitivity study on an explicit suite/context/runner.
+///
+/// The suite is fanned out across the runner's workers, and every circuit is
+/// clustered into its operand tree **once**: only the NVM replacement and
+/// the PDP accounting depend on the technology, so all four technologies
+/// share one set of [`diac_core::pipeline::CircuitArtifacts`] per circuit.
+///
+/// # Errors
+///
+/// Propagates circuit materialisation and scheme-evaluation failures.
+pub fn run_on(
+    runner: &SuiteRunner,
+    suite: &BenchmarkSuite,
+    base: &SchemeContext,
+) -> Result<NvmSensitivity, DiacError> {
+    // Per circuit: normalized (optimized, plain) DIAC PDP for each technology.
+    let per_circuit = runner.run_suite(suite, base, |_, pipeline, artifacts| {
+        NvmTechnology::ALL
+            .iter()
+            .map(|&technology| {
+                let ctx = pipeline.context().clone().with_nvm(technology);
+                let nv = pipeline.evaluate_in(artifacts, &ctx, SchemeKind::NvBased)?;
+                let diac = pipeline.evaluate_in(artifacts, &ctx, SchemeKind::Diac)?;
+                let opt = pipeline.evaluate_in(artifacts, &ctx, SchemeKind::DiacOptimized)?;
+                Ok((
+                    opt.breakdown.normalized_pdp(&nv.breakdown),
+                    diac.breakdown.normalized_pdp(&nv.breakdown),
+                ))
+            })
+            .collect::<Result<Vec<_>, DiacError>>()
+    })?;
+
+    let n = per_circuit.len().max(1) as f64;
+    let rows = NvmTechnology::ALL
+        .iter()
+        .enumerate()
+        .map(|(tech_idx, &technology)| {
+            let mut norm_sum = 0.0;
+            let mut nv_sum = 0.0;
+            let mut diac_sum = 0.0;
+            for circuit in &per_circuit {
+                let (opt, diac) = circuit[tech_idx];
+                norm_sum += opt;
+                nv_sum += (1.0 - opt) * 100.0;
+                diac_sum += (1.0 - opt / diac) * 100.0;
+            }
+            TechnologyRow {
+                technology,
+                optimized_normalized: norm_sum / n,
+                improvement_vs_nv_based: nv_sum / n,
+                improvement_vs_diac: diac_sum / n,
+            }
+        })
+        .collect();
+    Ok(NvmSensitivity { rows })
+}
+
 /// Runs the sensitivity study over the trimmed benchmark suite for all four
-/// technologies.
+/// technologies, in parallel over the circuits.
 ///
 /// # Errors
 ///
 /// Propagates circuit materialisation and scheme-evaluation failures.
 pub fn run() -> Result<NvmSensitivity, DiacError> {
-    let suite = BenchmarkSuite::diac_paper_small();
-    let base = crate::default_context();
-    let mut rows = Vec::new();
-    for technology in NvmTechnology::ALL {
-        let ctx = base.clone().with_nvm(technology);
-        let result = fig5::run_on(&suite, &ctx)?;
-        let mut norm_sum = 0.0;
-        let mut nv_sum = 0.0;
-        let mut diac_sum = 0.0;
-        for row in &result.rows {
-            let opt = row.normalized_of(SchemeKind::DiacOptimized);
-            let diac = row.normalized_of(SchemeKind::Diac);
-            norm_sum += opt;
-            nv_sum += (1.0 - opt) * 100.0;
-            diac_sum += (1.0 - opt / diac) * 100.0;
-        }
-        let n = result.rows.len().max(1) as f64;
-        rows.push(TechnologyRow {
-            technology,
-            optimized_normalized: norm_sum / n,
-            improvement_vs_nv_based: nv_sum / n,
-            improvement_vs_diac: diac_sum / n,
-        });
-    }
-    Ok(NvmSensitivity { rows })
+    run_on(&SuiteRunner::new(), &BenchmarkSuite::diac_paper_small(), &crate::default_context())
 }
 
 #[cfg(test)]

@@ -6,12 +6,14 @@
 //! on a handful of circuits and reports the operand count, the number of NVM
 //! boundaries (resiliency proxy) and the optimized-DIAC PDP (efficiency).
 
+use diac_core::pipeline::SynthesisPipeline;
 use diac_core::policy::Policy;
-use diac_core::schemes::{compare_all_schemes, SchemeContext, SchemeKind};
+use diac_core::schemes::{SchemeContext, SchemeKind};
 use diac_core::DiacError;
 use netlist::suite::BenchmarkSuite;
 
 use crate::report::Table;
+use crate::suite_runner::SuiteRunner;
 
 /// Result of one (circuit, policy) pair.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,32 +89,53 @@ pub fn default_circuits() -> Vec<&'static str> {
     vec!["s298", "s400", "s510", "mcnc_scramble", "mcnc_bus_ctrl"]
 }
 
-/// Runs the ablation on the given circuits.
+/// Runs the ablation on the given circuits with an explicit runner.
+///
+/// Circuits are fanned out across the runner's workers; within one circuit
+/// all three policies share the clustered operand tree through one set of
+/// [`diac_core::pipeline::CircuitArtifacts`].
+///
+/// # Errors
+///
+/// Propagates circuit materialisation and scheme-evaluation failures.
+pub fn run_with(
+    runner: &SuiteRunner,
+    circuits: &[&str],
+    base: &SchemeContext,
+) -> Result<PolicyAblation, DiacError> {
+    let suite = BenchmarkSuite::diac_paper();
+    let pipeline = SynthesisPipeline::new(base.clone());
+    let per_circuit = runner.try_map(circuits, |_, &name| {
+        let netlist = suite.materialize(name)?;
+        let artifacts = pipeline.prepare(&netlist)?;
+        Policy::ALL
+            .iter()
+            .map(|&policy| {
+                let ctx = base.clone().with_policy(policy);
+                let comparison = pipeline.compare_all_in(&artifacts, &ctx)?;
+                let opt = comparison
+                    .result(SchemeKind::DiacOptimized)
+                    .expect("optimized DIAC result present");
+                Ok(PolicyRow {
+                    circuit: name.to_string(),
+                    policy,
+                    boundaries: opt.replacement.map_or(0, |r| r.boundaries),
+                    pdp: opt.pdp(),
+                    normalized_pdp: comparison.normalized_pdp(SchemeKind::DiacOptimized),
+                })
+            })
+            .collect::<Result<Vec<_>, DiacError>>()
+    })?;
+    Ok(PolicyAblation { rows: per_circuit.into_iter().flatten().collect() })
+}
+
+/// Runs the ablation on the given circuits, in parallel over the circuits.
 ///
 /// # Errors
 ///
 /// Propagates circuit materialisation and scheme-evaluation failures.
 pub fn run_on(circuits: &[&str], base: &SchemeContext) -> Result<PolicyAblation, DiacError> {
-    let suite = BenchmarkSuite::diac_paper();
-    let mut rows = Vec::new();
-    for &name in circuits {
-        let netlist = suite.materialize(name)?;
-        for policy in Policy::ALL {
-            let ctx = base.clone().with_policy(policy);
-            let comparison = compare_all_schemes(&netlist, &ctx)?;
-            let opt = comparison
-                .result(SchemeKind::DiacOptimized)
-                .expect("optimized DIAC result present");
-            rows.push(PolicyRow {
-                circuit: name.to_string(),
-                policy,
-                boundaries: opt.replacement.map_or(0, |r| r.boundaries),
-                pdp: opt.pdp(),
-                normalized_pdp: comparison.normalized_pdp(SchemeKind::DiacOptimized),
-            });
-        }
-    }
-    Ok(PolicyAblation { rows })
+    run_with(&SuiteRunner::new(), circuits, base)
 }
 
 /// Runs the ablation on the default circuit selection with the measured

@@ -13,6 +13,7 @@ use isim::fsm::FsmConfig;
 use tech45::units::{Energy, Seconds};
 
 use crate::report::Table;
+use crate::suite_runner::SuiteRunner;
 
 /// Result of one safe-zone margin setting.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,11 +61,12 @@ impl SafeZoneAblation {
     }
 }
 
-/// Runs the ablation over the given margins (in millijoules).
+/// Runs the ablation over the given margins (in millijoules).  Every margin
+/// is an independent runtime simulation, so the sweep is fanned out across
+/// cores by the [`SuiteRunner`]; rows come back in sweep order.
 #[must_use]
 pub fn run_with_margins(margins_mj: &[f64], duration: Seconds) -> SafeZoneAblation {
-    let mut rows = Vec::with_capacity(margins_mj.len());
-    for &margin in margins_mj {
+    let rows = SuiteRunner::new().map(margins_mj, |_, &margin| {
         let mut config = FsmConfig::paper_default();
         config.use_safe_zone = margin > 0.0;
         config.thresholds =
@@ -73,15 +75,15 @@ pub fn run_with_margins(margins_mj: &[f64], duration: Seconds) -> SafeZoneAblati
         let stats = exec.run(duration, Seconds::new(0.1));
         let tasks = stats.completed_tasks().max(1);
         let pdp_proxy = stats.energy_consumed.as_joules() * duration.as_seconds() / tasks as f64;
-        rows.push(SafeZoneRow {
+        SafeZoneRow {
             margin_mj: margin,
             backups: stats.backups,
             recoveries: stats.safe_zone_recoveries,
             completed_tasks: stats.completed_tasks(),
             energy_consumed_mj: stats.energy_consumed.as_millijoules(),
             pdp_proxy,
-        });
-    }
+        }
+    });
     SafeZoneAblation { rows }
 }
 
@@ -117,7 +119,10 @@ mod tests {
         let ablation = run_with_margins(&[0.0, 2.0], Seconds::new(6000.0));
         let without = ablation.rows[0].completed_tasks;
         let with = ablation.rows[1].completed_tasks;
-        assert!(with + 2 >= without, "safe zone should not cost much progress: {with} vs {without}");
+        assert!(
+            with + 2 >= without,
+            "safe zone should not cost much progress: {with} vs {without}"
+        );
     }
 
     #[test]

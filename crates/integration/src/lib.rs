@@ -1,0 +1,4 @@
+//! Empty library: this crate exists to host the repository-level integration
+//! tests and examples (see `Cargo.toml` for the target map).
+
+#![forbid(unsafe_code)]

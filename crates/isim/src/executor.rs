@@ -134,8 +134,7 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let run = || {
-            let mut exec =
-                IntermittentExecutor::new(FsmConfig::paper_default(), Schedule::fig4());
+            let mut exec = IntermittentExecutor::new(FsmConfig::paper_default(), Schedule::fig4());
             exec.run(Seconds::new(1000.0), Seconds::new(0.1))
         };
         assert_eq!(run(), run());

@@ -11,9 +11,7 @@ use rand::{Rng, SeedableRng};
 
 use ehsim::capacitor::Capacitor;
 use ehsim::pmu::Thresholds;
-use tech45::constants::{
-    E_COMPUTE, E_SENSE, E_TRANSMIT, OPERATION_UNCERTAINTY, SLEEP_LEAKAGE_W,
-};
+use tech45::constants::{E_COMPUTE, E_SENSE, E_TRANSMIT, OPERATION_UNCERTAINTY, SLEEP_LEAKAGE_W};
 use tech45::units::{Energy, Power, Seconds};
 
 use crate::backup::BackupUnit;

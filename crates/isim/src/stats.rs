@@ -149,7 +149,8 @@ mod tests {
 
     #[test]
     fn completed_tasks_is_bounded_by_the_slowest_stage() {
-        let stats = RunStats { samples_sensed: 10, computations_completed: 7, ..RunStats::default() };
+        let stats =
+            RunStats { samples_sensed: 10, computations_completed: 7, ..RunStats::default() };
         assert_eq!(stats.completed_tasks(), 7);
     }
 

@@ -72,11 +72,8 @@ pub fn fanout_cone(netlist: &Netlist, root: GateId) -> Vec<GateId> {
 pub fn register_cone(netlist: &Netlist, state_element: GateId) -> Vec<GateId> {
     let gate = netlist.gate(state_element);
     let mut result: HashSet<GateId> = HashSet::new();
-    let roots: Vec<GateId> = if gate.kind == GateKind::Dff {
-        gate.fanin.clone()
-    } else {
-        vec![state_element]
-    };
+    let roots: Vec<GateId> =
+        if gate.kind == GateKind::Dff { gate.fanin.clone() } else { vec![state_element] };
     for root in roots {
         for id in fanin_cone(netlist, root) {
             if netlist.gate(id).kind.is_combinational() {

@@ -141,9 +141,13 @@ impl GateKind {
             GateKind::Mux => vec![CellKind::Mux2],
             GateKind::And => wide_tree(fanin_count, CellKind::And2, CellKind::And4),
             GateKind::Or => wide_tree(fanin_count, CellKind::Or2, CellKind::Or4),
-            GateKind::Nand => {
-                nand_like(fanin_count, CellKind::Nand2, CellKind::Nand4, CellKind::And2, CellKind::And4)
-            }
+            GateKind::Nand => nand_like(
+                fanin_count,
+                CellKind::Nand2,
+                CellKind::Nand4,
+                CellKind::And2,
+                CellKind::And4,
+            ),
             GateKind::Nor => {
                 nand_like(fanin_count, CellKind::Nor2, CellKind::Nor4, CellKind::Or2, CellKind::Or4)
             }
@@ -305,7 +309,8 @@ mod tests {
         assert!(and8.len() >= 2, "an 8-input AND needs several cells: {and8:?}");
         let nand8 = GateKind::Nand.decompose(8);
         // Exactly one inverting cell at the root.
-        let inverting = nand8.iter().filter(|c| matches!(c, CellKind::Nand4 | CellKind::Nand2)).count();
+        let inverting =
+            nand8.iter().filter(|c| matches!(c, CellKind::Nand4 | CellKind::Nand2)).count();
         assert_eq!(inverting, 1);
         let xor5 = GateKind::Xor.decompose(5);
         assert_eq!(xor5.len(), 4);

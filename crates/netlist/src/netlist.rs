@@ -244,13 +244,12 @@ impl NetlistBuilder {
         let fanin_names: Vec<String> = fanin
             .iter()
             .map(|id| {
-                self.gates
-                    .get(id.index())
-                    .map(|g| g.name.clone())
-                    .ok_or_else(|| NetlistError::UndefinedSignal {
+                self.gates.get(id.index()).map(|g| g.name.clone()).ok_or_else(|| {
+                    NetlistError::UndefinedSignal {
                         name: id.to_string(),
                         referenced_by: "builder".to_string(),
-                    })
+                    }
+                })
             })
             .collect::<Result<_, _>>()?;
         self.add_gate_by_names(name, kind, fanin_names)
@@ -351,14 +350,7 @@ impl NetlistBuilder {
         }
         let by_name =
             self.by_name.into_iter().map(|(name, index)| (name, GateId(index as u32))).collect();
-        Ok(Netlist {
-            name: self.name,
-            gates,
-            primary_inputs,
-            primary_outputs,
-            flip_flops,
-            by_name,
-        })
+        Ok(Netlist { name: self.name, gates, primary_inputs, primary_outputs, flip_flops, by_name })
     }
 }
 

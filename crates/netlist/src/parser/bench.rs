@@ -76,12 +76,9 @@ fn parse_directive<'a>(line: &'a str, directive: &str) -> Option<&'a str> {
 }
 
 fn parse_parenthesised(rest: &str, lineno: usize) -> Result<String, NetlistError> {
-    let inner = rest
-        .strip_prefix('(')
-        .and_then(|s| s.trim_end().strip_suffix(')'))
-        .ok_or_else(|| NetlistError::ParseLine {
-            line: lineno,
-            message: "expected `(signal)`".to_string(),
+    let inner =
+        rest.strip_prefix('(').and_then(|s| s.trim_end().strip_suffix(')')).ok_or_else(|| {
+            NetlistError::ParseLine { line: lineno, message: "expected `(signal)`".to_string() }
         })?;
     let signal = inner.trim();
     if signal.is_empty() || signal.contains(',') {

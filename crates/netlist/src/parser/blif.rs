@@ -34,7 +34,10 @@ pub fn parse_blif(fallback_name: &str, text: &str) -> Result<Netlist, NetlistErr
         if let Some(rest) = line.strip_prefix('.') {
             // A directive terminates any `.names` cover in progress.
             if let Some(cover) = pending_cover.take() {
-                commit_cover(builder.get_or_insert_with(|| NetlistBuilder::new(&model_name)), cover)?;
+                commit_cover(
+                    builder.get_or_insert_with(|| NetlistBuilder::new(&model_name)),
+                    cover,
+                )?;
             }
             let mut parts = rest.split_whitespace();
             let directive = parts.next().unwrap_or_default();
@@ -82,8 +85,13 @@ pub fn parse_blif(fallback_name: &str, text: &str) -> Result<Netlist, NetlistErr
                 }
                 "end" => break,
                 // Common but irrelevant directives are accepted and ignored.
-                "clock" | "default_input_arrival" | "wire_load_slope" | "gate" | "area"
-                | "delay" | "input_arrival" => {}
+                "clock"
+                | "default_input_arrival"
+                | "wire_load_slope"
+                | "gate"
+                | "area"
+                | "delay"
+                | "input_arrival" => {}
                 other => {
                     return Err(NetlistError::ParseLine {
                         line: lineno,

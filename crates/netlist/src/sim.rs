@@ -71,11 +71,7 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if `state` does not have one entry per flip-flop.
     pub fn set_state(&mut self, state: &[bool]) {
-        assert_eq!(
-            state.len(),
-            self.state.len(),
-            "state vector must have one entry per flip-flop"
-        );
+        assert_eq!(state.len(), self.state.len(), "state vector must have one entry per flip-flop");
         self.state.copy_from_slice(state);
     }
 
@@ -99,16 +95,18 @@ impl<'a> Simulator<'a> {
     ///
     /// Returns [`NetlistError::UndefinedSignal`] if `inputs` misses a primary
     /// input.
-    pub fn evaluate(&mut self, inputs: &HashMap<String, bool>) -> Result<CycleResult, NetlistError> {
+    pub fn evaluate(
+        &mut self,
+        inputs: &HashMap<String, bool>,
+    ) -> Result<CycleResult, NetlistError> {
         // Sources first.
         for &pi in self.netlist.primary_inputs() {
             let gate = self.netlist.gate(pi);
-            let value = inputs.get(&gate.name).copied().ok_or_else(|| {
-                NetlistError::UndefinedSignal {
+            let value =
+                inputs.get(&gate.name).copied().ok_or_else(|| NetlistError::UndefinedSignal {
                     name: gate.name.clone(),
                     referenced_by: "simulation input vector".to_string(),
-                }
-            })?;
+                })?;
             self.values[pi.index()] = value;
         }
         for (slot, &ff) in self.netlist.flip_flops().iter().enumerate() {
@@ -120,17 +118,12 @@ impl<'a> Simulator<'a> {
             if !gate.kind.is_combinational() {
                 continue;
             }
-            let inputs: Vec<bool> =
-                gate.fanin.iter().map(|&f| self.values[f.index()]).collect();
+            let inputs: Vec<bool> = gate.fanin.iter().map(|&f| self.values[f.index()]).collect();
             self.values[id.index()] = eval_gate(gate.kind, &inputs);
         }
         // Outputs and next state.
-        let outputs = self
-            .netlist
-            .primary_outputs()
-            .iter()
-            .map(|&po| self.values[po.index()])
-            .collect();
+        let outputs =
+            self.netlist.primary_outputs().iter().map(|&po| self.values[po.index()]).collect();
         let next_state = self
             .netlist
             .flip_flops()
@@ -160,8 +153,7 @@ impl<'a> Simulator<'a> {
     #[must_use]
     pub fn is_consistent(&self) -> bool {
         self.netlist.iter().filter(|g| g.kind.is_combinational()).all(|gate| {
-            let inputs: Vec<bool> =
-                gate.fanin.iter().map(|&f| self.values[f.index()]).collect();
+            let inputs: Vec<bool> = gate.fanin.iter().map(|&f| self.values[f.index()]).collect();
             self.values[gate.id.index()] == eval_gate(gate.kind, &inputs)
         })
     }

@@ -50,8 +50,7 @@ impl NetlistStats {
             comb.iter().map(|g| g.fanin.len()).sum::<usize>() as f64 / comb.len() as f64
         };
         let fanout_counts = netlist.fanout_counts();
-        let driven: Vec<usize> =
-            fanout_counts.iter().copied().filter(|&c| c > 0).collect();
+        let driven: Vec<usize> = fanout_counts.iter().copied().filter(|&c| c > 0).collect();
         let avg_fanout = if driven.is_empty() {
             0.0
         } else {

@@ -146,8 +146,7 @@ impl BenchmarkSuite {
     #[must_use]
     pub fn diac_paper_small() -> Self {
         let full = Self::diac_paper();
-        let circuits =
-            full.circuits.into_iter().filter(|c| c.gates <= 1000).collect::<Vec<_>>();
+        let circuits = full.circuits.into_iter().filter(|c| c.gates <= 1000).collect::<Vec<_>>();
         Self { circuits }
     }
 
@@ -197,6 +196,7 @@ impl BenchmarkSuite {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the columns of the paper's Fig. 5 table
 fn spec(
     name: &'static str,
     suite: SuiteKind,
@@ -226,17 +226,13 @@ mod tests {
     #[test]
     fn gate_counts_match_the_paper_table() {
         let suite = BenchmarkSuite::diac_paper();
-        let iscas_and_itc: Vec<usize> = suite
-            .iter()
-            .filter(|c| c.suite != SuiteKind::Mcnc)
-            .map(|c| c.gates)
-            .collect();
+        let iscas_and_itc: Vec<usize> =
+            suite.iter().filter(|c| c.suite != SuiteKind::Mcnc).map(|c| c.gates).collect();
         assert_eq!(
             iscas_and_itc,
             vec![10, 119, 161, 164, 218, 193, 289, 446, 529, 657, 9772, 19253]
         );
-        let mcnc: Vec<usize> =
-            suite.of_suite(SuiteKind::Mcnc).map(|c| c.gates).collect();
+        let mcnc: Vec<usize> = suite.of_suite(SuiteKind::Mcnc).map(|c| c.gates).collect();
         assert_eq!(mcnc, vec![22, 861, 129, 155, 437, 904, 266, 4444, 2383, 5763, 744, 490]);
     }
 
@@ -263,10 +259,7 @@ mod tests {
     #[test]
     fn unknown_circuits_are_reported() {
         let suite = BenchmarkSuite::diac_paper();
-        assert!(matches!(
-            suite.materialize("s9999"),
-            Err(NetlistError::UnknownCircuit { .. })
-        ));
+        assert!(matches!(suite.materialize("s9999"), Err(NetlistError::UnknownCircuit { .. })));
         assert!(suite.find("s9999").is_none());
     }
 

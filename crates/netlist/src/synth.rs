@@ -163,9 +163,10 @@ pub fn generate(config: &SynthesisConfig) -> Result<Netlist, NetlistError> {
     output_pool.append(&mut deeper_first);
     output_pool.dedup();
     for i in 0..config.primary_outputs {
-        let name = output_pool.get(i % output_pool.len().max(1)).cloned().unwrap_or_else(|| {
-            source_names.first().cloned().expect("at least one source")
-        });
+        let name = output_pool
+            .get(i % output_pool.len().max(1))
+            .cloned()
+            .unwrap_or_else(|| source_names.first().cloned().expect("at least one source"));
         builder.mark_output_name(name);
     }
 

@@ -24,8 +24,11 @@ pub fn to_verilog(netlist: &Netlist) -> String {
     let module = sanitize(netlist.name());
     let pi_names: Vec<String> =
         netlist.primary_inputs().iter().map(|&id| sanitize(&netlist.gate(id).name)).collect();
-    let po_names: Vec<String> =
-        netlist.primary_outputs().iter().map(|&id| format!("po_{}", sanitize(&netlist.gate(id).name))).collect();
+    let po_names: Vec<String> = netlist
+        .primary_outputs()
+        .iter()
+        .map(|&id| format!("po_{}", sanitize(&netlist.gate(id).name)))
+        .collect();
 
     let _ = writeln!(v, "// Structural Verilog emitted by the netlist crate");
     let _ = writeln!(v, "module {module} (");
@@ -117,10 +120,8 @@ pub fn to_verilog(netlist: &Netlist) -> String {
 }
 
 fn sanitize(name: &str) -> String {
-    let mut out: String = name
-        .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
-        .collect();
+    let mut out: String =
+        name.chars().map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' }).collect();
     if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         out.insert(0, 'n');
     }

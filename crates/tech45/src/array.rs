@@ -33,12 +33,7 @@ impl NvmArray {
     #[must_use]
     pub fn new(technology: NvmTechnology, capacity_bits: u64, word_bits: u32) -> Self {
         assert!(word_bits > 0, "word width must be at least one bit");
-        Self {
-            technology,
-            cell: NvmCell::for_technology(technology),
-            capacity_bits,
-            word_bits,
-        }
+        Self { technology, cell: NvmCell::for_technology(technology), capacity_bits, word_bits }
     }
 
     /// The storage technology of this array.

@@ -148,21 +148,14 @@ impl OperandProfile {
         // currently switching — the paper excludes the active gate).
         let leakage_power: Power = cells.iter().map(|c| c.static_power).copied_sum();
         let inactive_leakage: f64 = if cells.len() > 1 {
-            let max_leak =
-                cells.iter().map(|c| c.static_power.as_watts()).fold(0.0_f64, f64::max);
+            let max_leak = cells.iter().map(|c| c.static_power.as_watts()).fold(0.0_f64, f64::max);
             leakage_power.as_watts() - max_leak
         } else {
             0.0
         };
         let static_ = Energy::new(critical_path.as_seconds() * inactive_leakage);
 
-        EnergyEstimate {
-            dynamic,
-            static_,
-            critical_path,
-            leakage_power,
-            gate_count: cells.len(),
-        }
+        EnergyEstimate { dynamic, static_, critical_path, leakage_power, gate_count: cells.len() }
     }
 }
 
@@ -171,9 +164,9 @@ trait CopiedSum {
     fn copied_sum(self) -> Power;
 }
 
-impl<'a, I> CopiedSum for I
+impl<I> CopiedSum for I
 where
-    I: Iterator<Item = Power> + 'a,
+    I: Iterator<Item = Power>,
 {
     fn copied_sum(self) -> Power {
         self.sum()
@@ -200,7 +193,8 @@ mod tests {
     fn dynamic_energy_matches_formula_for_single_gate() {
         let library = lib();
         let nand = library.cell(CellKind::Nand2);
-        let est = OperandProfile::from_gates([CellKind::Nand2]).with_activity(1.0).estimate(&library);
+        let est =
+            OperandProfile::from_gates([CellKind::Nand2]).with_activity(1.0).estimate(&library);
         let expected = 2.0 * nand.delay.as_seconds() * nand.dynamic_power.as_watts();
         assert!((est.dynamic.as_joules() - expected).abs() < 1e-24);
         // A single gate has no inactive neighbours, so no static term.
@@ -215,8 +209,7 @@ mod tests {
             .with_activity(1.0)
             .estimate(&library);
         let inv = library.cell(CellKind::Inv);
-        let expected_static =
-            est.critical_path.as_seconds() * (2.0 * inv.static_power.as_watts());
+        let expected_static = est.critical_path.as_seconds() * (2.0 * inv.static_power.as_watts());
         assert!((est.static_.as_joules() - expected_static).abs() < 1e-24);
     }
 
@@ -243,8 +236,12 @@ mod tests {
     #[test]
     fn activity_scales_dynamic_energy_linearly() {
         let library = lib();
-        let full = OperandProfile::from_gates(vec![CellKind::Xor2; 8]).with_activity(1.0).estimate(&library);
-        let half = OperandProfile::from_gates(vec![CellKind::Xor2; 8]).with_activity(0.5).estimate(&library);
+        let full = OperandProfile::from_gates(vec![CellKind::Xor2; 8])
+            .with_activity(1.0)
+            .estimate(&library);
+        let half = OperandProfile::from_gates(vec![CellKind::Xor2; 8])
+            .with_activity(0.5)
+            .estimate(&library);
         assert!((full.dynamic.as_joules() / half.dynamic.as_joules() - 2.0).abs() < 1e-9);
     }
 
@@ -256,10 +253,10 @@ mod tests {
         let m = a.merged_with(&b);
         assert_eq!(m.gate_count, 8);
         assert!((m.dynamic.as_joules() - (a.dynamic + b.dynamic).as_joules()).abs() < 1e-24);
-        assert!((m.critical_path.as_seconds()
-            - (a.critical_path + b.critical_path).as_seconds())
-        .abs()
-            < 1e-18);
+        assert!(
+            (m.critical_path.as_seconds() - (a.critical_path + b.critical_path).as_seconds()).abs()
+                < 1e-18
+        );
     }
 
     #[test]

@@ -26,12 +26,8 @@ pub enum NvmTechnology {
 
 impl NvmTechnology {
     /// All supported technologies in a stable order.
-    pub const ALL: [NvmTechnology; 4] = [
-        NvmTechnology::Mram,
-        NvmTechnology::Reram,
-        NvmTechnology::Feram,
-        NvmTechnology::Pcm,
-    ];
+    pub const ALL: [NvmTechnology; 4] =
+        [NvmTechnology::Mram, NvmTechnology::Reram, NvmTechnology::Feram, NvmTechnology::Pcm];
 
     /// Human-readable name.
     #[must_use]
@@ -154,10 +150,7 @@ mod tests {
     fn writes_cost_more_than_reads() {
         for tech in NvmTechnology::ALL {
             let cell = NvmCell::for_technology(tech);
-            assert!(
-                cell.write_energy > cell.read_energy,
-                "{tech}: write should dominate read"
-            );
+            assert!(cell.write_energy > cell.read_energy, "{tech}: write should dominate read");
             assert!(cell.write_latency >= cell.read_latency);
         }
     }

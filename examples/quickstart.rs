@@ -31,7 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{tree}\n");
 
     // 3. NVM boundary insertion (the replacement procedure).
-    let enhanced = diac_core::replacement::insert_nvm_boundaries(tree, &ReplacementConfig::default())?;
+    let enhanced =
+        diac_core::replacement::insert_nvm_boundaries(tree, &ReplacementConfig::default())?;
     println!("replacement: {}\n", enhanced.summary());
 
     // 4. Code generation and timing validation.

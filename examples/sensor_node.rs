@@ -58,7 +58,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     deploy(
         "flaky on/off channel",
-        MarkovSource::new(Power::from_milliwatts(0.6), Seconds::new(120.0), Seconds::new(240.0), 13),
+        MarkovSource::new(
+            Power::from_milliwatts(0.6),
+            Seconds::new(120.0),
+            Seconds::new(240.0),
+            13,
+        ),
         &mut table,
     );
     println!("{table}");

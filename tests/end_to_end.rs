@@ -124,8 +124,7 @@ fn the_winner_is_stable_across_nvm_technologies() {
     for tech in NvmTechnology::ALL {
         let ctx = SchemeContext::default().with_nvm(tech);
         let cmp = compare_all_schemes(&nl, &ctx).expect("evaluation");
-        let ranking: Vec<f64> =
-            SchemeKind::ALL.iter().map(|&k| cmp.normalized_pdp(k)).collect();
+        let ranking: Vec<f64> = SchemeKind::ALL.iter().map(|&k| cmp.normalized_pdp(k)).collect();
         assert!(
             ranking[3] <= ranking[2] && ranking[2] < ranking[1] && ranking[1] < ranking[0],
             "{tech}: {ranking:?}"

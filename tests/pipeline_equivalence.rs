@@ -1,0 +1,86 @@
+//! Equivalence of the cached pipeline path and direct per-scheme evaluation.
+//!
+//! `compare_all_schemes` and the experiment sweeps share the expensive
+//! scheme-independent products (circuit figures, operand tree, policy
+//! restructuring, NVM replacement) through `CircuitArtifacts`.  Every cached
+//! product is a pure function of its inputs, so the shared path must produce
+//! **bit-identical** numbers to evaluating each scheme from freshly built
+//! artifacts — these tests pin that contract across the trimmed registry.
+//! (`PdpBreakdown`, `ReplacementSummary` and `SchemeResult` compare their
+//! `f64` fields with exact equality, so `assert_eq!` is a bitwise check.)
+
+use diac_core::pipeline::SynthesisPipeline;
+use diac_core::schemes::{compare_all_schemes, SchemeContext, SchemeKind};
+use netlist::suite::BenchmarkSuite;
+use tech45::nvm::NvmTechnology;
+
+#[test]
+fn shared_artifacts_match_fresh_artifacts_on_every_circuit() {
+    let ctx = SchemeContext::default();
+    let pipeline = SynthesisPipeline::new(ctx.clone());
+    for spec in BenchmarkSuite::diac_paper_small().iter() {
+        let netlist = spec.materialize().expect("registry circuits materialise");
+        let shared = pipeline.prepare(&netlist).expect("preparation succeeds");
+        for kind in SchemeKind::ALL {
+            let cached = pipeline.evaluate(&shared, kind).expect("cached evaluation");
+            // Fresh artifacts per scheme = the uncached path: tree, policy
+            // and replacement all rebuilt from the netlist.
+            let fresh_artifacts = pipeline.prepare(&netlist).expect("fresh preparation");
+            let fresh = pipeline.evaluate(&fresh_artifacts, kind).expect("fresh evaluation");
+            assert_eq!(
+                cached.breakdown, fresh.breakdown,
+                "{}/{kind}: cached PdpBreakdown deviates from the uncached path",
+                spec.name
+            );
+            assert_eq!(
+                cached.replacement, fresh.replacement,
+                "{}/{kind}: cached ReplacementSummary deviates from the uncached path",
+                spec.name
+            );
+            assert_eq!(cached, fresh, "{}/{kind}: full SchemeResult deviates", spec.name);
+        }
+    }
+}
+
+#[test]
+fn compare_all_schemes_matches_per_scheme_pipeline_evaluation() {
+    let ctx = SchemeContext::default();
+    let pipeline = SynthesisPipeline::new(ctx.clone());
+    for spec in BenchmarkSuite::diac_paper_small().iter() {
+        let netlist = spec.materialize().expect("registry circuits materialise");
+        let comparison = compare_all_schemes(&netlist, &ctx).expect("comparison succeeds");
+        let artifacts = pipeline.prepare(&netlist).expect("preparation succeeds");
+        for kind in SchemeKind::ALL {
+            let direct = pipeline.evaluate(&artifacts, kind).expect("evaluation succeeds");
+            let from_comparison =
+                comparison.result(kind).expect("comparison covers all four schemes");
+            assert_eq!(
+                &direct, from_comparison,
+                "{}/{kind}: compare_all_schemes deviates from pipeline evaluation",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn technology_sweeps_over_shared_artifacts_match_fresh_contexts() {
+    let base = SchemeContext::default();
+    let pipeline = SynthesisPipeline::new(base.clone());
+    let netlist = BenchmarkSuite::diac_paper().materialize("s510").expect("s510 materialises");
+    let shared = pipeline.prepare(&netlist).expect("preparation succeeds");
+    for technology in NvmTechnology::ALL {
+        let ctx = base.clone().with_nvm(technology);
+        let swept = pipeline
+            .evaluate_in(&shared, &ctx, SchemeKind::DiacOptimized)
+            .expect("swept evaluation");
+        // The uncached reference: a pipeline whose base context already uses
+        // the swept technology, with its own fresh artifacts.
+        let reference_pipeline = SynthesisPipeline::new(ctx.clone());
+        let reference_artifacts = reference_pipeline.prepare(&netlist).expect("fresh preparation");
+        let reference = reference_pipeline
+            .evaluate(&reference_artifacts, SchemeKind::DiacOptimized)
+            .expect("reference evaluation");
+        assert_eq!(swept, reference, "{technology}: swept evaluation deviates");
+    }
+}
