@@ -1,0 +1,41 @@
+//! Bench for the scenario campaign engine: the CI-sized smoke grid and the
+//! full paper grid, serial vs. parallel across worker counts.
+//!
+//! The campaign is the simulation-side counterpart of the `suite_sweep`
+//! bench: hundreds of independent `IntermittentExecutor` runs on the shared
+//! order-preserving work-queue.  Serial and parallel runs produce identical
+//! aggregates, so the comparison is exact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scenarios::campaign::{run_with, CampaignConfig};
+use scenarios::ParallelRunner;
+use std::hint::black_box;
+
+fn bench_scenario_campaign(c: &mut Criterion) {
+    let smoke = CampaignConfig::smoke();
+    let paper = experiments::campaign::paper_campaign(0xD1AC).expect("paper campaign builds");
+    let mut group = c.benchmark_group("scenario_campaign");
+
+    group.bench_function("smoke_serial", |b| {
+        b.iter(|| black_box(run_with(&ParallelRunner::serial(), &smoke)));
+    });
+    group.bench_function("paper_serial", |b| {
+        b.iter(|| black_box(run_with(&ParallelRunner::serial(), &paper)));
+    });
+    group.bench_function("paper_parallel_all_cores", |b| {
+        b.iter(|| black_box(run_with(&ParallelRunner::new(), &paper)));
+    });
+    for threads in [2_usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("paper_threads", threads), &threads, |b, &t| {
+            b.iter(|| black_box(run_with(&ParallelRunner::with_threads(t), &paper)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scenario_campaign
+}
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Property tests of the energy-harvesting substrate: capacitor invariants
+//! and the total ordering of the PMU operating zones over the energy axis.
+
+use ehsim::capacitor::Capacitor;
+use ehsim::pmu::{OperatingZone, Thresholds};
+use proptest::prelude::*;
+use tech45::units::{Energy, Power, Seconds};
+
+/// Ranks a zone by severity: strictly decreasing as the stored energy grows
+/// through the thresholds (Peak and Active tie only through the `E_MAX`
+/// cutoff, which is monotone too).
+fn severity(zone: OperatingZone) -> u8 {
+    match zone {
+        OperatingZone::Off => 4,
+        OperatingZone::BackupRequired => 3,
+        OperatingZone::SafeZone => 2,
+        OperatingZone::Active => 1,
+        OperatingZone::Peak => 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Stored energy stays inside `[0, max_energy]` across any interleaving
+    /// of harvest, drain, drain_power and try_consume calls.
+    #[test]
+    fn capacitor_energy_stays_in_bounds(
+        initial_mj in 0.0_f64..30.0,
+        ops in prop::collection::vec((0_u8..4, 0.0_f64..4.0), 1..300),
+    ) {
+        let mut cap = Capacitor::paper_default().with_energy(Energy::from_millijoules(initial_mj));
+        for (kind, magnitude) in ops {
+            match kind {
+                0 => {
+                    cap.harvest(Power::from_milliwatts(magnitude), Seconds::new(1.0));
+                }
+                1 => {
+                    cap.drain(Energy::from_millijoules(magnitude));
+                }
+                2 => {
+                    cap.drain_power(Power::from_milliwatts(magnitude), Seconds::new(1.0));
+                }
+                _ => {
+                    cap.try_consume(Energy::from_millijoules(magnitude));
+                }
+            }
+            prop_assert!(cap.energy() >= Energy::ZERO, "energy went negative: {cap}");
+            prop_assert!(cap.energy() <= cap.max_energy(), "energy exceeded capacity: {cap}");
+            prop_assert!((0.0..=1.0).contains(&cap.state_of_charge()), "{cap}");
+        }
+    }
+
+    /// Harvesting an amount and then discharging the same amount never ends
+    /// above the starting level (the harvester clamps at capacity, the
+    /// discharge does not), and with headroom the round trip is exact.
+    #[test]
+    fn harvest_discharge_round_trip_is_monotone(
+        initial_mj in 0.0_f64..25.0,
+        amount_mj in 0.0_f64..40.0,
+    ) {
+        let initial = Energy::from_millijoules(initial_mj);
+        let mut cap = Capacitor::paper_default().with_energy(initial);
+        let start = cap.energy();
+        let banked = cap.harvest(Power::from_milliwatts(amount_mj), Seconds::new(1.0));
+        prop_assert!(banked <= Energy::from_millijoules(amount_mj) + Energy::from_millijoules(1e-9));
+        let drained = cap.drain(Energy::from_millijoules(amount_mj));
+        prop_assert!(cap.energy() <= start + Energy::from_millijoules(1e-9),
+            "round trip gained energy: start {start}, end {}", cap.energy());
+        // With headroom for the whole amount the round trip is lossless.
+        if start.as_millijoules() + amount_mj <= cap.max_energy().as_millijoules() {
+            prop_assert!((banked.as_millijoules() - amount_mj).abs() < 1e-9);
+            prop_assert!((drained.as_millijoules() - amount_mj).abs() < 1e-9);
+            prop_assert!((cap.energy().as_millijoules() - start.as_millijoules()).abs() < 1e-9);
+        }
+    }
+
+    /// Larger harvests never bank less, and repeated draining is monotone
+    /// non-increasing.
+    #[test]
+    fn harvesting_and_draining_are_monotone(
+        initial_mj in 0.0_f64..25.0,
+        a_mj in 0.0_f64..30.0,
+        b_mj in 0.0_f64..30.0,
+    ) {
+        let (lo, hi) = if a_mj <= b_mj { (a_mj, b_mj) } else { (b_mj, a_mj) };
+        let fresh = || Capacitor::paper_default().with_energy(Energy::from_millijoules(initial_mj));
+        let mut cap_lo = fresh();
+        let mut cap_hi = fresh();
+        let banked_lo = cap_lo.harvest(Power::from_milliwatts(lo), Seconds::new(1.0));
+        let banked_hi = cap_hi.harvest(Power::from_milliwatts(hi), Seconds::new(1.0));
+        prop_assert!(banked_lo <= banked_hi + Energy::from_millijoules(1e-12));
+        prop_assert!(cap_lo.energy() <= cap_hi.energy() + Energy::from_millijoules(1e-12));
+
+        let mut cap = fresh();
+        let mut previous = cap.energy();
+        for _ in 0..8 {
+            cap.drain(Energy::from_millijoules(lo));
+            prop_assert!(cap.energy() <= previous);
+            previous = cap.energy();
+        }
+    }
+
+    /// `Thresholds::zone` is a total, monotone classification: every energy
+    /// level maps to exactly one zone, and severity never increases as the
+    /// stored energy grows — for any consistent safe-zone margin.
+    #[test]
+    fn zone_classification_is_totally_ordered_over_energy(
+        margin_mj in 0.0_f64..4.0,
+        mut levels in prop::collection::vec(0.0_f64..30.0, 2..60),
+    ) {
+        let thresholds =
+            Thresholds::paper_default().with_safe_zone_margin(Energy::from_millijoules(margin_mj));
+        prop_assert!(thresholds.is_consistent(), "{thresholds}");
+        levels.sort_by(f64::total_cmp);
+        let mut previous: Option<u8> = None;
+        for mj in levels {
+            let energy = Energy::from_millijoules(mj);
+            let zone = thresholds.zone(energy);
+            // Total: the classification agrees with the threshold ordering.
+            if energy < thresholds.off {
+                prop_assert_eq!(zone, OperatingZone::Off);
+            } else if energy < thresholds.backup {
+                prop_assert_eq!(zone, OperatingZone::BackupRequired);
+            } else if energy < thresholds.safe_zone {
+                prop_assert_eq!(zone, OperatingZone::SafeZone);
+            } else {
+                prop_assert!(matches!(zone, OperatingZone::Active | OperatingZone::Peak));
+            }
+            // Ordered: severity is non-increasing in the energy.
+            if let Some(prev) = previous {
+                prop_assert!(
+                    severity(zone) <= prev,
+                    "severity rose from {prev} to {} at {mj} mJ",
+                    severity(zone)
+                );
+            }
+            previous = Some(severity(zone));
+        }
+    }
+
+    /// A zero margin makes the SafeZone zone unreachable; a positive margin
+    /// makes it exactly the band `[Th_Bk, Th_SafeZone)`.
+    #[test]
+    fn safe_zone_band_follows_the_margin(margin_mj in 0.0_f64..2.0, mj in 0.0_f64..30.0) {
+        let thresholds =
+            Thresholds::paper_default().with_safe_zone_margin(Energy::from_millijoules(margin_mj));
+        let zone = thresholds.zone(Energy::from_millijoules(mj));
+        if margin_mj == 0.0 {
+            prop_assert_ne!(zone, OperatingZone::SafeZone);
+        }
+        let energy = Energy::from_millijoules(mj);
+        prop_assert_eq!(
+            zone == OperatingZone::SafeZone,
+            energy >= thresholds.backup && energy < thresholds.safe_zone
+        );
+    }
+}

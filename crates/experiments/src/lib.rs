@@ -1,8 +1,8 @@
 //! Experiment harness: regenerates every table and figure of the DIAC paper.
 //!
 //! Each module corresponds to one artifact of the evaluation section (see
-//! `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for the measured
-//! results):
+//! `DESIGN.md` at the repository root for the experiment index and the
+//! substitution arguments):
 //!
 //! * [`fig2`] — the tree illustrations of the 8-input/1-output example under
 //!   the original structure and Policies 1–3 (Fig. 2).
@@ -18,17 +18,23 @@
 //!   vs. margin width).
 //! * [`policy_ablation`] — ablation of Policies 1–3 (efficiency vs.
 //!   resiliency).
+//! * [`campaign`] — Monte-Carlo scenario campaigns over the intermittent
+//!   stack (the `scenarios` crate engine) with DIAC-derived backup sizing
+//!   and the campaign tables.
 //! * [`report`] — plain-text/markdown/CSV table formatting shared by the
 //!   examples and benches.
 //!
 //! The circuit-sweep experiments all run through [`suite_runner`], which
 //! fans the independent per-circuit evaluations out across cores and routes
 //! each circuit through the shared
-//! [`diac_core::pipeline::SynthesisPipeline`] exactly once.
+//! [`diac_core::pipeline::SynthesisPipeline`] exactly once; scenario
+//! campaigns fan out on the same work-queue
+//! ([`scenarios::runner::ParallelRunner`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod fig2;
 pub mod fig4;
 pub mod fig5;

@@ -4,30 +4,27 @@
 //! circuit, run the scheme-independent synthesis front, evaluate — and the
 //! 24 circuits of the registry are completely independent, so the sweep
 //! parallelises embarrassingly well.  [`SuiteRunner`] fans that loop out
-//! across cores with an order-preserving shared work-queue map (workers
-//! claim item indices from one atomic counter) built on
-//! `std::thread::scope` (the build environment has no access to `rayon`; the
-//! runner provides the same "parallel iterator over an index space" shape
-//! for the needs of this crate).
+//! across cores on the generic order-preserving work-queue of
+//! [`scenarios::runner::ParallelRunner`] (where the pattern introduced here
+//! in PR 1 now lives, shared with the scenario campaign engine) and adds the
+//! suite-specific plumbing: circuit materialisation and the shared
+//! [`SynthesisPipeline`] front.
 //!
 //! Results always come back in item order regardless of which worker
 //! finished first, so parallel runs are byte-identical to serial ones — the
 //! `suite_sweep` bench in `crates/bench` relies on that to compare the two
 //! fairly.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::thread;
-
 use diac_core::pipeline::{CircuitArtifacts, SynthesisPipeline};
 use diac_core::schemes::{SchemeComparison, SchemeContext};
 use diac_core::DiacError;
 use netlist::suite::{BenchmarkSuite, CircuitSpec};
+use scenarios::runner::ParallelRunner;
 
 /// Fans independent evaluation work out across OS threads.
 #[derive(Debug, Clone)]
 pub struct SuiteRunner {
-    threads: usize,
+    inner: ParallelRunner,
 }
 
 impl Default for SuiteRunner {
@@ -40,26 +37,25 @@ impl SuiteRunner {
     /// A runner using every available core.
     #[must_use]
     pub fn new() -> Self {
-        let threads = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        Self { threads }
+        Self { inner: ParallelRunner::new() }
     }
 
     /// A runner that stays on the calling thread (the serial baseline).
     #[must_use]
     pub fn serial() -> Self {
-        Self { threads: 1 }
+        Self { inner: ParallelRunner::serial() }
     }
 
     /// A runner with an explicit worker count (at least one).
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
-        Self { threads: threads.max(1) }
+        Self { inner: ParallelRunner::with_threads(threads) }
     }
 
     /// Number of worker threads the runner will use.
     #[must_use]
     pub fn threads(&self) -> usize {
-        self.threads
+        self.inner.threads()
     }
 
     /// Maps `f` over `items` in parallel, preserving item order in the
@@ -75,8 +71,7 @@ impl SuiteRunner {
         T: Send,
         F: Fn(usize, &I) -> T + Sync,
     {
-        self.try_map(items, |index, item| Ok::<T, DiacError>(f(index, item)))
-            .expect("infallible mapping cannot error")
+        self.inner.map(items, f)
     }
 
     /// Maps a fallible `f` over `items` in parallel; on failure, the
@@ -94,49 +89,7 @@ impl SuiteRunner {
         T: Send,
         F: Fn(usize, &I) -> Result<T, DiacError> + Sync,
     {
-        if self.threads <= 1 || items.len() <= 1 {
-            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let failed = AtomicBool::new(false);
-        let slots: Vec<Mutex<Option<Result<T, DiacError>>>> =
-            items.iter().map(|_| Mutex::new(None)).collect();
-        thread::scope(|scope| {
-            for _ in 0..self.threads.min(items.len()) {
-                scope.spawn(|| loop {
-                    if failed.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(item) = items.get(index) else { break };
-                    let value = f(index, item);
-                    if value.is_err() {
-                        failed.store(true, Ordering::Relaxed);
-                    }
-                    *slots[index].lock().expect("result slot lock") = Some(value);
-                });
-            }
-        });
-        let mut values = Vec::with_capacity(items.len());
-        let mut first_error = None;
-        for slot in slots {
-            match slot.into_inner().expect("result slot lock") {
-                Some(Ok(value)) => values.push(value),
-                Some(Err(error)) => {
-                    first_error.get_or_insert(error);
-                }
-                // Unclaimed slots only exist after a failure stopped the
-                // workers early.
-                None => {}
-            }
-        }
-        match first_error {
-            Some(error) => Err(error),
-            None => {
-                assert_eq!(values.len(), items.len(), "every index was claimed");
-                Ok(values)
-            }
-        }
+        self.inner.try_map(items, f)
     }
 
     /// Fans one benchmark suite out across the workers: every circuit is
@@ -183,7 +136,7 @@ impl SuiteRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_preserves_item_order() {

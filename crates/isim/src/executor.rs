@@ -9,7 +9,7 @@ use ehsim::capacitor::Capacitor;
 use ehsim::schedule::Schedule;
 use ehsim::source::HarvestSource;
 use ehsim::trace::{TraceRecorder, TraceSample};
-use tech45::units::{Energy, Seconds};
+use tech45::units::{Energy, Power, Seconds};
 
 use crate::fsm::{FsmConfig, NodeFsm};
 use crate::stats::RunStats;
@@ -81,13 +81,16 @@ impl<S: HarvestSource> IntermittentExecutor<S> {
         assert!(dt.value() > 0.0, "time step must be positive");
         let steps = (duration.as_seconds() / dt.as_seconds()).ceil() as u64;
         let mut harvested_total = Energy::ZERO;
+        let mut clipped_total = Energy::ZERO;
         let mut consumed_total = Energy::ZERO;
         for i in 0..steps {
             let now = Seconds::new(i as f64 * dt.as_seconds());
             let power = self.source.power_at(now);
             let before = self.capacitor.energy();
+            let offered = power.max(Power::ZERO) * dt;
             let banked = self.capacitor.harvest(power, dt);
             harvested_total += banked;
+            clipped_total += offered - banked;
             self.fsm.step(&mut self.capacitor, now, dt);
             let consumed = (before + banked - self.capacitor.energy()).max(Energy::ZERO);
             consumed_total += consumed;
@@ -100,6 +103,7 @@ impl<S: HarvestSource> IntermittentExecutor<S> {
         }
         let stats = self.fsm.stats_mut();
         stats.energy_harvested = harvested_total;
+        stats.energy_clipped = clipped_total;
         stats.energy_consumed = consumed_total;
         stats.clone()
     }

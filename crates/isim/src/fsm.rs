@@ -86,6 +86,32 @@ impl FsmConfig {
         self.thresholds = self.thresholds.with_safe_zone_margin(Energy::ZERO);
         self
     }
+
+    /// Replaces the thresholds.  A collapsed safe zone (`Th_SafeZone ==
+    /// Th_Bk`) disables the safe-zone rule, matching
+    /// [`Self::without_safe_zone`]; any positive margin enables it.
+    #[must_use]
+    pub fn with_thresholds(mut self, thresholds: Thresholds) -> Self {
+        self.use_safe_zone = thresholds.safe_zone > thresholds.backup;
+        self.thresholds = thresholds;
+        self
+    }
+
+    /// Replaces the backup/restore engine.
+    #[must_use]
+    pub fn with_backup(mut self, backup: BackupUnit) -> Self {
+        self.backup = backup;
+        self
+    }
+
+    /// Replaces the RNG seed that drives the ±10 % per-operation energy
+    /// jitter and the transmit decisions — the knob that makes a whole
+    /// scenario campaign bit-reproducible from one number.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 impl Default for FsmConfig {
@@ -503,6 +529,42 @@ mod tests {
         }
         assert!(fsm.stats().computations_completed >= computed_before);
         assert!(fsm.stats().computations_completed >= 1, "{}", fsm.stats());
+    }
+
+    #[test]
+    fn builders_rewire_thresholds_backup_and_seed() {
+        let collapsed = Thresholds::paper_default().with_safe_zone_margin(Energy::ZERO);
+        let config = FsmConfig::paper_default()
+            .with_thresholds(collapsed)
+            .with_backup(crate::backup::BackupUnit::from_state_bits(
+                256,
+                tech45::nvm::NvmTechnology::Pcm,
+            ))
+            .with_seed(77);
+        assert!(!config.use_safe_zone, "collapsed margin must disable the safe zone");
+        assert_eq!(config.backup.bits(), 256);
+        assert_eq!(config.seed, 77);
+        let margined = FsmConfig::paper_default()
+            .without_safe_zone()
+            .with_thresholds(Thresholds::paper_default());
+        assert!(margined.use_safe_zone, "positive margin must re-enable the safe zone");
+    }
+
+    #[test]
+    fn the_seed_steers_the_operation_jitter() {
+        use crate::executor::IntermittentExecutor;
+        use ehsim::schedule::Schedule;
+        let run = |seed: u64| {
+            let mut exec = IntermittentExecutor::new(
+                FsmConfig::paper_default().with_seed(seed),
+                Schedule::scarce(),
+            );
+            exec.run(Seconds::new(4000.0), Seconds::new(0.1))
+        };
+        assert_eq!(run(5), run(5));
+        // Under a scarce schedule the jittered per-operation energies shift
+        // the whole trajectory, so different seeds must diverge.
+        assert_ne!(run(5), run(6));
     }
 
     #[test]

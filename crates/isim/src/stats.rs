@@ -30,6 +30,9 @@ pub struct RunStats {
     pub reexecutions: u64,
     /// Total energy banked into the capacitor.
     pub energy_harvested: Energy,
+    /// Harvest offered while the capacitor was full and therefore lost —
+    /// the truly wasted ambient energy.
+    pub energy_clipped: Energy,
     /// Total energy drawn from the capacitor.
     pub energy_consumed: Energy,
     /// Wall-clock time spent in each node state.
@@ -115,8 +118,9 @@ impl fmt::Display for RunStats {
         )?;
         write!(
             f,
-            "harvested {:.1} mJ, consumed {:.1} mJ, active {:.1} % of {:.0} s",
+            "harvested {:.1} mJ (clipped {:.1}), consumed {:.1} mJ, active {:.1} % of {:.0} s",
             self.energy_harvested.as_millijoules(),
+            self.energy_clipped.as_millijoules(),
             self.energy_consumed.as_millijoules(),
             self.active_fraction() * 100.0,
             self.total_time.as_seconds()

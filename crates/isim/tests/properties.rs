@@ -1,0 +1,125 @@
+//! Property tests of the FSM/executor layer: internal consistency of
+//! [`RunStats`] across random harvest schedules and seeds, and agreement
+//! between the traced and untraced execution paths.
+
+use ehsim::source::PiecewiseSource;
+use isim::executor::IntermittentExecutor;
+use isim::fsm::FsmConfig;
+use isim::state::NodeState;
+use isim::stats::RunStats;
+use proptest::prelude::*;
+use tech45::units::{Power, Seconds};
+
+/// Builds a valid piecewise source from raw `(duration, power)` pairs by
+/// accumulating the starts — sorted by construction.
+fn piecewise(segments_raw: &[(f64, f64)], cyclic: bool) -> PiecewiseSource {
+    let mut segments = Vec::with_capacity(segments_raw.len());
+    let mut start = 0.0;
+    for &(duration, power_mw) in segments_raw {
+        segments.push((Seconds::new(start), Power::from_milliwatts(power_mw)));
+        start += duration;
+    }
+    PiecewiseSource::new(segments, cyclic, Seconds::new(start))
+}
+
+/// A strategy over random harvest schedules: 2–12 segments of 20–400 s at
+/// 0–0.4 mW, optionally cyclic — from famine to plenty.
+fn schedule_strategy() -> impl Strategy<Value = (Vec<(f64, f64)>, bool)> {
+    (prop::collection::vec((20.0_f64..400.0, 0.0_f64..0.4), 2..12), (0_u8..2).prop_map(|b| b == 1))
+}
+
+fn run_pair(
+    segments: &[(f64, f64)],
+    cyclic: bool,
+    seed: u64,
+    duration: Seconds,
+    dt: Seconds,
+) -> (RunStats, RunStats, usize) {
+    let config = FsmConfig::paper_default().with_seed(seed);
+    let mut plain = IntermittentExecutor::with_source(config.clone(), piecewise(segments, cyclic));
+    let stats = plain.run(duration, dt);
+    let mut traced = IntermittentExecutor::with_source(config, piecewise(segments, cyclic));
+    let (traced_stats, trace) = traced.run_with_trace(duration, dt);
+    (stats, traced_stats, trace.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The counters of a run are internally consistent for any schedule and
+    /// seed: the pipeline order bounds the stage counts, every restore needs
+    /// a preceding backup and power loss, and the re-execution count never
+    /// exceeds the interruptions that can cause one.
+    #[test]
+    fn run_stats_counters_are_internally_consistent(
+        (segments, cyclic) in schedule_strategy(),
+        seed in 0_u64..1000,
+    ) {
+        let (stats, _, _) = run_pair(&segments, cyclic, seed, Seconds::new(3000.0), Seconds::new(0.25));
+        prop_assert!(stats.restores <= stats.backups, "{stats}");
+        prop_assert!(stats.restores <= stats.off_events, "{stats}");
+        prop_assert!(stats.transmissions_completed <= stats.computations_completed, "{stats}");
+        prop_assert!(stats.computations_completed <= stats.samples_sensed, "{stats}");
+        prop_assert!(stats.safe_zone_recoveries <= stats.safe_zone_entries, "{stats}");
+        prop_assert!(stats.reexecutions <= stats.off_events, "{stats}");
+        prop_assert!(stats.completed_tasks() <= stats.samples_sensed, "{stats}");
+    }
+
+    /// Time accounting adds up: per-state times sum to the total, which
+    /// matches the requested duration, and the derived fractions are sane.
+    #[test]
+    fn time_and_energy_accounting_add_up(
+        (segments, cyclic) in schedule_strategy(),
+        seed in 0_u64..1000,
+    ) {
+        let duration = Seconds::new(2000.0);
+        let dt = Seconds::new(0.25);
+        let (stats, _, _) = run_pair(&segments, cyclic, seed, duration, dt);
+        let summed: f64 = NodeState::ALL
+            .iter()
+            .map(|&state| stats.time_in(state).as_seconds())
+            .sum();
+        prop_assert!((summed - stats.total_time.as_seconds()).abs() < 1e-6, "{stats}");
+        prop_assert!((stats.total_time.as_seconds() - duration.as_seconds()).abs() < dt.as_seconds());
+        prop_assert!((0.0..=1.0).contains(&stats.active_fraction()), "{stats}");
+        // Starting from an empty capacitor, nothing can be consumed that was
+        // not harvested first.
+        prop_assert!(
+            stats.energy_consumed.as_millijoules() <= stats.energy_harvested.as_millijoules() + 1e-9,
+            "consumed {} > harvested {}",
+            stats.energy_consumed.as_millijoules(),
+            stats.energy_harvested.as_millijoules()
+        );
+        prop_assert!(stats.intermittency_profile().is_valid(), "{stats}");
+    }
+
+    /// `run_with_trace` is the same simulation as `run`: identical statistics
+    /// and one trace sample per simulated step.
+    #[test]
+    fn traced_and_untraced_runs_agree(
+        (segments, cyclic) in schedule_strategy(),
+        seed in 0_u64..1000,
+        duration_s in 200.0_f64..2500.0,
+    ) {
+        let duration = Seconds::new(duration_s);
+        let dt = Seconds::new(0.5);
+        let (stats, traced_stats, trace_len) = run_pair(&segments, cyclic, seed, duration, dt);
+        prop_assert_eq!(&stats, &traced_stats);
+        let steps = (duration.as_seconds() / dt.as_seconds()).ceil() as usize;
+        prop_assert_eq!(trace_len, steps);
+    }
+
+    /// The executor is a pure function of `(config, schedule, seed)`.
+    #[test]
+    fn identical_configurations_replay_bit_identically(
+        (segments, cyclic) in schedule_strategy(),
+        seed in 0_u64..1000,
+    ) {
+        let run = || {
+            let config = FsmConfig::paper_default().with_seed(seed);
+            let mut exec = IntermittentExecutor::with_source(config, piecewise(&segments, cyclic));
+            exec.run(Seconds::new(1500.0), Seconds::new(0.5))
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,302 @@
+//! Online aggregation of per-scenario statistics.
+//!
+//! A campaign never retains the per-run time-series traces: every finished
+//! scenario is immediately folded into one scalar sample per metric
+//! (a Welford running mean plus min/max, and the raw scalar kept for exact
+//! quantiles).  Memory is `O(runs × metrics)` scalars regardless of how long
+//! each simulated lifetime is.
+
+use std::fmt;
+
+use isim::state::NodeState;
+use isim::stats::RunStats;
+
+/// The metrics a campaign aggregates, in table order.
+pub const METRIC_NAMES: [&str; 6] =
+    ["progress", "backups", "restores", "dead_time_s", "energy_wasted_mj", "safe_zone_recoveries"];
+
+/// Extracts the aggregated scalar metrics from one run, in
+/// [`METRIC_NAMES`] order: forward progress (completed sense→compute
+/// pipelines), backups taken, restores, dead time (seconds spent Off),
+/// energy wasted (harvest offered while the capacitor was full and
+/// therefore lost, in mJ), and safe-zone recoveries.
+#[must_use]
+pub fn metric_values(stats: &RunStats) -> [f64; 6] {
+    [
+        stats.completed_tasks() as f64,
+        stats.backups as f64,
+        stats.restores as f64,
+        stats.time_in(NodeState::Off).as_seconds(),
+        stats.energy_clipped.as_millijoules(),
+        stats.safe_zone_recoveries as f64,
+    ]
+}
+
+/// Streaming accumulator of one metric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OnlineMetric {
+    count: u64,
+    mean: f64,
+    min: f64,
+    max: f64,
+    samples: Vec<f64>,
+}
+
+impl OnlineMetric {
+    /// Folds one sample in (Welford's update keeps the mean stable for long
+    /// campaigns; samples are recorded in arrival order so aggregation stays
+    /// deterministic).
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        self.mean += (value - self.mean) / self.count as f64;
+        if self.count == 1 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.samples.push(value);
+    }
+
+    /// Number of samples folded in.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact nearest-rank quantile (`q` in `[0, 1]`); 0.0 for an empty
+    /// metric.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        nearest_rank(&sorted, q)
+    }
+
+    /// The six-number summary of this metric (one sort serves all three
+    /// quantiles).
+    #[must_use]
+    pub fn summarize(&self, name: &str) -> MetricRow {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        MetricRow {
+            name: name.to_string(),
+            mean: self.mean,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            p50: nearest_rank(&sorted, 0.50),
+            p90: nearest_rank(&sorted, 0.90),
+            p99: nearest_rank(&sorted, 0.99),
+            max: if self.count == 0 { 0.0 } else { self.max },
+        }
+    }
+}
+
+/// Nearest-rank quantile over an already-sorted slice; 0.0 when empty.
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Summary statistics of one metric over a whole campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRow {
+    /// Metric name (one of [`METRIC_NAMES`]).
+    pub name: String,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 90th percentile (nearest rank).
+    pub p90: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl MetricRow {
+    /// The row's values in column order (mean, min, p50, p90, p99, max).
+    #[must_use]
+    pub fn values(&self) -> [f64; 6] {
+        [self.mean, self.min, self.p50, self.p90, self.p99, self.max]
+    }
+}
+
+/// Streams [`RunStats`] into per-metric accumulators.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Aggregator {
+    runs: usize,
+    metrics: [OnlineMetric; 6],
+}
+
+impl Aggregator {
+    /// An empty aggregator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one finished run in.
+    pub fn record(&mut self, stats: &RunStats) {
+        self.runs += 1;
+        for (metric, value) in self.metrics.iter_mut().zip(metric_values(stats)) {
+            metric.push(value);
+        }
+    }
+
+    /// Number of runs folded in.
+    #[must_use]
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// The frozen summary of everything recorded so far.
+    #[must_use]
+    pub fn summary(&self) -> CampaignSummary {
+        CampaignSummary {
+            runs: self.runs,
+            rows: METRIC_NAMES
+                .iter()
+                .zip(&self.metrics)
+                .map(|(name, metric)| metric.summarize(name))
+                .collect(),
+        }
+    }
+}
+
+/// The aggregate statistics of a campaign (or of one slice of it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSummary {
+    /// Number of scenario runs aggregated.
+    pub runs: usize,
+    /// One row per metric, in [`METRIC_NAMES`] order.
+    pub rows: Vec<MetricRow>,
+}
+
+impl CampaignSummary {
+    /// Looks one metric up by name.
+    #[must_use]
+    pub fn row(&self, name: &str) -> Option<&MetricRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// A stable 64-bit digest of the aggregate (FNV-1a over the metric names
+    /// and the bit patterns of every statistic).  Two campaigns with the
+    /// same seed must produce the same digest — the CI smoke job pins this.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |byte: u8| {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for byte in (self.runs as u64).to_le_bytes() {
+            eat(byte);
+        }
+        for row in &self.rows {
+            for byte in row.name.bytes() {
+                eat(byte);
+            }
+            for value in row.values() {
+                for byte in value.to_bits().to_le_bytes() {
+                    eat(byte);
+                }
+            }
+        }
+        hash
+    }
+}
+
+impl fmt::Display for CampaignSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} runs (digest {:#018x})", self.runs, self.digest())?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "  {:<22} mean {:>10.3}  min {:>10.3}  p50 {:>10.3}  p90 {:>10.3}  p99 {:>10.3}  max {:>10.3}",
+                row.name, row.mean, row.min, row.p50, row.p90, row.p99, row.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(sensed: u64, computed: u64, backups: u64) -> RunStats {
+        RunStats {
+            samples_sensed: sensed,
+            computations_completed: computed,
+            backups,
+            ..RunStats::default()
+        }
+    }
+
+    #[test]
+    fn quantiles_are_exact_nearest_rank() {
+        let mut m = OnlineMetric::default();
+        for v in 1..=100 {
+            m.push(f64::from(v));
+        }
+        assert_eq!(m.quantile(0.50), 50.0);
+        assert_eq!(m.quantile(0.90), 90.0);
+        assert_eq!(m.quantile(0.99), 99.0);
+        assert_eq!(m.quantile(0.0), 1.0);
+        assert_eq!(m.quantile(1.0), 100.0);
+        assert_eq!(m.count(), 100);
+    }
+
+    #[test]
+    fn empty_metrics_summarize_to_zero() {
+        let row = OnlineMetric::default().summarize("empty");
+        assert_eq!(row.values(), [0.0; 6]);
+    }
+
+    #[test]
+    fn the_aggregator_tracks_every_metric() {
+        let mut agg = Aggregator::new();
+        agg.record(&stats(5, 3, 2));
+        agg.record(&stats(9, 9, 0));
+        let summary = agg.summary();
+        assert_eq!(summary.runs, 2);
+        assert_eq!(summary.rows.len(), METRIC_NAMES.len());
+        let progress = summary.row("progress").expect("progress row");
+        assert!((progress.mean - 6.0).abs() < 1e-12); // (3 + 9) / 2
+        assert_eq!(progress.min, 3.0);
+        assert_eq!(progress.max, 9.0);
+        let backups = summary.row("backups").expect("backups row");
+        assert!((backups.mean - 1.0).abs() < 1e-12);
+        assert!(summary.row("no_such_metric").is_none());
+    }
+
+    #[test]
+    fn digests_pin_the_exact_statistics() {
+        let mut a = Aggregator::new();
+        let mut b = Aggregator::new();
+        for agg in [&mut a, &mut b] {
+            agg.record(&stats(5, 3, 2));
+            agg.record(&stats(9, 9, 0));
+        }
+        assert_eq!(a.summary().digest(), b.summary().digest());
+        b.record(&stats(1, 1, 1));
+        assert_ne!(a.summary().digest(), b.summary().digest());
+    }
+
+    #[test]
+    fn display_lists_runs_and_metrics() {
+        let mut agg = Aggregator::new();
+        agg.record(&stats(5, 3, 2));
+        let text = agg.summary().to_string();
+        assert!(text.contains("1 runs"));
+        assert!(text.contains("progress"));
+        assert!(text.contains("digest"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Monte-Carlo scenario campaigns for the intermittent execution stack.
+//!
+//! The paper validates its FSM against one predetermined harvest schedule
+//! (the Fig. 4 trace).  This crate turns that one-shot reproduction into a
+//! workload generator: a *campaign* fans out hundreds of deterministic
+//! `(config, seed)` scenarios over a cartesian space —
+//!
+//! * harvest source family × parameters × seed ([`space::SourceSpec`]),
+//! * PMU thresholds (`Th_SafeZone`, `Th_Bk`, …) ([`space::threshold_grid`]),
+//! * NVM technology (MRAM / ReRAM / FeRAM / PCM),
+//! * backup sizing (baseline architectural state vs. a DIAC replacement
+//!   summary) ([`space::BackupSizing`]),
+//!
+//! — runs each through [`isim::executor::IntermittentExecutor`] on the
+//! order-preserving parallel work-queue ([`runner::ParallelRunner`], shared
+//! with `experiments::SuiteRunner`), and streams the per-run statistics into
+//! an online aggregator ([`aggregate::Aggregator`]: mean/min/max and
+//! p50/p90/p99 of forward progress, backups, dead time, energy wasted)
+//! without retaining per-run traces.  Every campaign is bit-reproducible
+//! from its seed; [`aggregate::CampaignSummary::digest`] pins that in CI.
+//!
+//! See `DESIGN.md` at the repository root for where campaigns sit in the
+//! experiment index.
+//!
+//! # Example
+//!
+//! ```
+//! use scenarios::campaign::{run, CampaignConfig};
+//!
+//! let config = CampaignConfig::smoke();
+//! let first = run(&config);
+//! let second = run(&config);
+//! assert_eq!(first.digest(), second.digest());
+//! assert_eq!(first.runs, config.space.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod campaign;
+pub mod runner;
+pub mod scenario;
+pub mod seed;
+pub mod space;
+
+pub use aggregate::{Aggregator, CampaignSummary, MetricRow, METRIC_NAMES};
+pub use campaign::{run, run_with, CampaignConfig, CampaignResult};
+pub use runner::ParallelRunner;
+pub use scenario::Scenario;
+pub use space::{BackupSizing, ScenarioSpace, SourceFamily, SourceSpec};

@@ -1,0 +1,100 @@
+//! Integration tests of the scenario campaign engine, pinning the
+//! acceptance criteria: a seeded campaign of ≥ 200 scenarios completes
+//! through the parallel engine and its aggregate statistics are identical
+//! across invocations with the same seed (and across worker counts).
+
+use experiments::campaign;
+use scenarios::{CampaignConfig, ParallelRunner, ScenarioSpace, SourceFamily};
+
+#[test]
+fn a_200_plus_run_campaign_is_deterministic_across_invocations() {
+    let config = campaign::paper_campaign(0xCAFE).expect("campaign config builds");
+    assert!(config.space.len() >= 200, "only {} scenarios", config.space.len());
+
+    let runner = ParallelRunner::new();
+    let first = scenarios::run_with(&runner, &config);
+    let second = scenarios::run_with(&runner, &config);
+
+    assert_eq!(first.runs, config.space.len());
+    assert_eq!(first, second, "same seed must reproduce the whole aggregate");
+    assert_eq!(first.digest(), second.digest());
+
+    // A different seed must not alias onto the same statistics.
+    let reseeded = campaign::paper_campaign(0xBEEF).expect("campaign config builds");
+    assert_ne!(first.digest(), scenarios::run_with(&runner, &reseeded).digest());
+}
+
+#[test]
+fn parallel_and_serial_campaigns_agree_for_every_worker_count() {
+    let config = CampaignConfig::smoke();
+    let serial = scenarios::run_with(&ParallelRunner::serial(), &config);
+    for threads in [2, 3, 8] {
+        let parallel = scenarios::run_with(&ParallelRunner::with_threads(threads), &config);
+        assert_eq!(serial, parallel, "{threads} workers diverged from the serial baseline");
+    }
+}
+
+#[test]
+fn the_paper_campaign_exercises_every_axis() {
+    let config = campaign::paper_campaign(1).expect("campaign config builds");
+    let scenarios = config.space.scenarios(config.seed);
+    for family in SourceFamily::ALL {
+        assert!(
+            scenarios.iter().any(|s| s.source.family() == family),
+            "family {family} missing from the campaign"
+        );
+    }
+    for tech in tech45::nvm::NvmTechnology::ALL {
+        assert!(scenarios.iter().any(|s| s.technology == tech), "{tech:?} missing");
+    }
+    let sizing_labels: std::collections::BTreeSet<String> =
+        scenarios.iter().map(|s| s.sizing.label()).collect();
+    assert_eq!(sizing_labels.len(), 2, "baseline and DIAC sizings: {sizing_labels:?}");
+    let margins: std::collections::BTreeSet<u64> = scenarios
+        .iter()
+        .map(|s| (s.thresholds.safe_zone - s.thresholds.backup).as_millijoules().round() as u64)
+        .collect();
+    assert!(margins.len() >= 3, "safe-zone margins: {margins:?}");
+}
+
+#[test]
+fn the_sizing_axis_is_paired_and_observable() {
+    let config = campaign::paper_campaign(3).expect("campaign config builds");
+    let scenarios = config.space.scenarios(config.seed);
+    // Common random numbers: scenarios that differ only in technology or
+    // sizing share the same seed, so the baseline-vs-DIAC comparison runs on
+    // identical harvest/jitter sample paths.
+    for a in &scenarios {
+        for b in &scenarios {
+            if a.source == b.source && a.thresholds == b.thresholds {
+                assert_eq!(a.seed, b.seed, "#{} and #{} must be paired", a.id, b.id);
+            }
+        }
+    }
+    // And the comparison is readable from the result: one slice per sizing,
+    // splitting the runs evenly.
+    let result = scenarios::run(&config);
+    assert_eq!(result.by_sizing.len(), 2, "baseline and DIAC slices");
+    for (label, summary) in &result.by_sizing {
+        assert_eq!(summary.runs, result.runs / 2, "sizing slice {label} is half the grid");
+    }
+}
+
+#[test]
+fn campaign_aggregates_expose_the_safe_zone_benefit() {
+    // Across the whole smoke grid, scenarios exist where the node both makes
+    // progress and recovers from safe-zone dips without an NVM write — the
+    // behaviour the optimized DIAC scheme monetises.
+    let result = scenarios::run(&CampaignConfig::smoke());
+    let recoveries = result.overall.row("safe_zone_recoveries").expect("metric present");
+    assert!(recoveries.max >= 1.0, "{}", result.overall);
+    let progress = result.overall.row("progress").expect("metric present");
+    assert!(progress.p90 >= 1.0, "{}", result.overall);
+}
+
+#[test]
+fn smoke_and_paper_spaces_stay_distinct() {
+    assert!(ScenarioSpace::smoke().len() < 20);
+    let paper = campaign::paper_campaign(0).expect("builds").space;
+    assert!(paper.len() >= 200, "paper grid shrank to {}", paper.len());
+}
