@@ -1,0 +1,95 @@
+//! CLI front of the perf quick suite (`diac_bench::perf`).
+//!
+//! ```sh
+//! cargo run -p diac-bench --release --bin perf -- \
+//!     --tag pr --out BENCH_pr.json --baseline BENCH_baseline.json
+//! ```
+//!
+//! Runs the fixed quick suite, writes `BENCH_<tag>.json`, prints the
+//! markdown summary, and — when a baseline is given — exits non-zero if any
+//! benchmark's median regressed beyond the noise threshold (default 25 %).
+
+use std::process::ExitCode;
+
+use diac_bench::perf::{compare, run_quick_suite, PerfReport, SuiteConfig, DEFAULT_MAX_REGRESSION};
+
+struct Args {
+    tag: String,
+    out: Option<String>,
+    baseline: Option<String>,
+    max_regression: f64,
+    scale: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        tag: "pr".to_string(),
+        out: None,
+        baseline: None,
+        max_regression: DEFAULT_MAX_REGRESSION,
+        scale: 1.0,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--tag" => args.tag = value("--tag")?,
+            "--out" => args.out = Some(value("--out")?),
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--max-regression" => {
+                args.max_regression = value("--max-regression")?
+                    .parse()
+                    .map_err(|e| format!("--max-regression: {e}"))?;
+            }
+            "--scale" => {
+                args.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: perf [--tag NAME] [--out FILE] [--baseline FILE] \
+                            [--max-regression FRACTION] [--scale FACTOR]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = run_quick_suite(&args.tag, &SuiteConfig { scale: args.scale });
+    println!("{}", report.to_markdown());
+
+    let out_path = args.out.unwrap_or_else(|| format!("BENCH_{}.json", args.tag));
+    if let Err(error) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("cannot write {out_path}: {error}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+
+    let Some(baseline_path) = args.baseline else { return ExitCode::SUCCESS };
+    let baseline = match std::fs::read_to_string(&baseline_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| PerfReport::from_json(&text))
+    {
+        Ok(baseline) => baseline,
+        Err(error) => {
+            eprintln!("cannot load baseline {baseline_path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let comparison = compare(&baseline, &report, args.max_regression);
+    println!("{}", comparison.to_markdown());
+    if comparison.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

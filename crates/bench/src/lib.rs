@@ -11,6 +11,8 @@ use diac_core::schemes::SchemeContext;
 use netlist::suite::BenchmarkSuite;
 use netlist::Netlist;
 
+pub mod perf;
+
 /// Circuits used by the per-circuit benches: one small, one medium, one
 /// larger, spanning two benchmark families.
 pub const BENCH_CIRCUITS: &[&str] = &["s298", "s510", "mcnc_scramble"];

@@ -18,7 +18,12 @@
 //! [`SynthesisPipeline`] builds artifacts and evaluates schemes against
 //! them.  The cached path is bit-identical to evaluating each scheme from
 //! scratch (asserted by the `pipeline_equivalence` integration test) because
-//! every cached product is a pure function of its inputs.
+//! every cached product is a pure function of its inputs — including the
+//! arena-backed restructuring edits (see [`crate::tree`]), whose append-only
+//! id assignment keeps the policy/replacement tie-breaks deterministic, so
+//! cached restructured trees and fresh ones are interchangeable.  The cost
+//! of the tree/replacement stages is tracked by the `diac_bench::perf`
+//! quick suite and gated in CI (`DESIGN.md`, "Perf gate").
 //!
 //! # Example
 //!

@@ -14,7 +14,6 @@
 //! higher accumulated power (II), and nodes with larger fan-in/fan-out (III),
 //! all folded into [`FeatureDict::replacement_score`].
 
-use std::collections::HashMap;
 use std::fmt;
 
 use tech45::array::NvmArray;
@@ -23,7 +22,7 @@ use tech45::units::{Energy, Seconds};
 
 use crate::error::DiacError;
 use crate::feature::FeatureDict;
-use crate::tree::{OperandId, OperandTree};
+use crate::tree::OperandTree;
 
 /// Configuration of the replacement procedure.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -173,63 +172,48 @@ pub fn insert_nvm_boundaries(
 
     let total_energy = tree.total_energy();
     let budget = total_energy * config.budget_fraction;
-    let max_level = tree.max_level();
-
-    // Clear any boundary decisions left over from a previous run.
-    let ids: Vec<OperandId> = tree.iter().map(|o| o.id).collect();
-    for id in &ids {
-        let dict = &mut tree.operand_mut(*id).dict;
-        dict.nvm_boundary = false;
-        dict.boundary_bits = 0;
-        dict.accumulated = Energy::ZERO;
-    }
 
     // Leaves-to-roots traversal accumulating unsaved energy.  The accumulated
     // figure tracks the worst chain of unsaved work below a node (maximum over
     // its children) so that the invariant "no node ever protects more than one
     // budget's worth of work plus its own energy" holds by construction.
+    //
+    // The per-node state lives in a flat slot-indexed table (the arena makes
+    // `OperandId` a dense index); unvisited slots stay at zero, the fold
+    // identity, so no liveness filtering is needed.  Each node is visited
+    // exactly once, so stale boundary decisions from a previous run are
+    // cleared in the same pass.
     let order = tree.topological_order();
-    let mut accumulated: HashMap<OperandId, Energy> = HashMap::new();
+    let mut accumulated = vec![Energy::ZERO; tree.slots()];
     let mut max_unsaved = Energy::ZERO;
     let mut boundaries = 0_usize;
     let mut total_bits = 0_u64;
 
     for id in order {
-        let (children, own_energy, fan_out, score) = {
+        let (unsaved, fan_out, is_root) = {
             let op = tree.operand(id);
-            (
-                op.children.clone(),
-                op.dict.energy(),
-                op.dict.fan_out,
-                op.dict.replacement_score(max_level),
-            )
+            let inherited =
+                op.children.iter().map(|c| accumulated[c.index()]).fold(Energy::ZERO, Energy::max);
+            (inherited + op.dict.energy(), op.dict.fan_out, op.is_root())
         };
-        let inherited: Energy = children
-            .iter()
-            .filter_map(|c| accumulated.get(c).copied())
-            .fold(Energy::ZERO, Energy::max);
-        let unsaved = inherited + own_energy;
         max_unsaved = max_unsaved.max(unsaved);
 
         let dict: &mut FeatureDict = &mut tree.operand_mut(id).dict;
+        dict.nvm_boundary = false;
+        dict.boundary_bits = 0;
         dict.accumulated = unsaved;
 
         // Criterion: commit when a failure here would lose more than one
-        // harvesting burst can re-do.  The score is used as a tie-breaker so
-        // that among equally-pressed nodes the better-connected, upper-level
-        // ones are the ones that get the (expensive) NVM write.
+        // harvesting burst can re-do.  Roots always commit the final result.
         let over_budget = unsaved > budget;
-        let is_root = tree.operand(id).is_root();
         if over_budget || is_root {
             let bits = (fan_out as u64).max(1) * u64::from(config.bits_per_signal);
-            let dict = &mut tree.operand_mut(id).dict;
             dict.mark_boundary(bits);
-            accumulated.insert(id, Energy::ZERO);
+            accumulated[id.index()] = Energy::ZERO;
             boundaries += 1;
             total_bits += bits;
-            let _ = score;
         } else {
-            accumulated.insert(id, unsaved);
+            accumulated[id.index()] = unsaved;
         }
     }
 

@@ -5,15 +5,15 @@
 //! and number of NVM writes* plus the run-time cost of the state elements
 //! differ):
 //!
-//! * [`nv_based`] — every flip-flop becomes an NV-FF; backups store every
+//! * [`NvBased`] — every flip-flop becomes an NV-FF; backups store every
 //!   architectural state bit and the heavier flip-flops slow down and
 //!   energise every single register update.
-//! * [`nv_clustering`] — the LE-FF approach of Roohi & DeMara: logic cones
+//! * [`NvClustering`] — the LE-FF approach of Roohi & DeMara: logic cones
 //!   embedded into the state element reduce both the run-time penalty and the
 //!   per-backup traffic.
-//! * [`diac`] — the proposed flow: volatile flip-flops at run time, backups
+//! * [`Diac`] — the proposed flow: volatile flip-flops at run time, backups
 //!   restricted to the tree-selected NVM boundaries.
-//! * [`diac_opt`] — DIAC plus the `Th_SafeZone` mechanism, which skips the
+//! * [`DiacOptimized`] — DIAC plus the `Th_SafeZone` mechanism, which skips the
 //!   backups for emergencies that recover before `Th_Bk`.
 
 mod diac;

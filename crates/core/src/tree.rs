@@ -10,9 +10,34 @@
 //! Trees can also be built directly from explicit node energies (see
 //! [`OperandTree::builder`]) — that is how the Fig. 2 example of the paper,
 //! whose operands are characterised in millijoules, is reproduced.
+//!
+//! # Arena representation
+//!
+//! The tree is an index-based arena: one `Vec<Operand>` of slots addressed
+//! by `u32` [`OperandId`]s, with parent/child edges stored as id lists —
+//! no pointer chasing, no per-node boxing.  Structural edits are built for
+//! the policy loop's steady state:
+//!
+//! * retiring a node (a merge, or the original of a split) pushes its slot
+//!   onto a **free-list** and its gate/edge/name buffers into a spare pool;
+//!   new nodes draw their storage from that pool, so repeated
+//!   [`OperandTree::split_operand`] / [`OperandTree::merge_operands`] cycles
+//!   stop allocating once the pool is warm;
+//! * the traversals behind every edit ([`OperandTree::recompute_levels`] and
+//!   the topological order it needs) run on flat, slot-indexed scratch
+//!   buffers owned by the tree and reused across calls — no hash maps on the
+//!   hot path.
+//!
+//! New ids are always assigned append-only (retired slots are *not* handed
+//! out again): the id-assignment order is part of the deterministic contract
+//! — golden reports and the pipeline-equivalence tests depend on it — so the
+//! free-list only feeds the buffer pool, and the slots themselves are
+//! reclaimed explicitly via [`OperandTree::compact`], which remaps ids
+//! densely.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::fmt::Write as _;
 use std::mem;
 
 use netlist::levelize::levelize;
@@ -95,14 +120,107 @@ impl Default for TreeGeneratorConfig {
     }
 }
 
+/// Spare node storage recycled from retired operands: when a split or merge
+/// retires a node, its gate list, edge lists and name buffer land here and
+/// are handed to the next node created, so steady-state restructuring
+/// allocates nothing.
+#[derive(Debug, Default)]
+struct SparePool {
+    gates: Vec<Vec<GateId>>,
+    edges: Vec<Vec<OperandId>>,
+    names: Vec<String>,
+}
+
+impl SparePool {
+    fn gates_buf(&mut self) -> Vec<GateId> {
+        self.gates.pop().unwrap_or_default()
+    }
+
+    fn edge_buf(&mut self) -> Vec<OperandId> {
+        self.edges.pop().unwrap_or_default()
+    }
+
+    fn name_buf(&mut self) -> String {
+        self.names.pop().unwrap_or_default()
+    }
+
+    fn recycle_gates(&mut self, mut buf: Vec<GateId>) {
+        buf.clear();
+        self.gates.push(buf);
+    }
+
+    fn recycle_edges(&mut self, mut buf: Vec<OperandId>) {
+        buf.clear();
+        self.edges.push(buf);
+    }
+
+    fn recycle_name(&mut self, mut buf: String) {
+        buf.clear();
+        self.names.push(buf);
+    }
+
+    fn len(&self) -> usize {
+        self.gates.len() + self.edges.len() + self.names.len()
+    }
+}
+
+/// Flat slot-indexed traversal buffers reused across structural edits.
+#[derive(Debug, Default)]
+struct TraversalScratch {
+    /// Per-slot count of unprocessed live children (topological in-degree).
+    indegree: Vec<u32>,
+    /// Ready nodes, kept sorted ascending so `pop()` yields the highest id —
+    /// the same tie-break the original sort-then-pop implementation used.
+    ready: Vec<OperandId>,
+    /// Per-slot level, written by [`OperandTree::recompute_levels`].
+    levels: Vec<u32>,
+    /// Reusable topological-order buffer.
+    order: Vec<OperandId>,
+}
+
 /// The operand tree.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// See the [module docs](self) for the arena representation and its
+/// free-list / scratch-buffer reuse.
+#[derive(Debug)]
 pub struct OperandTree {
     name: String,
     operands: Vec<Operand>,
     /// Total number of architectural state bits of the underlying design
     /// (flip-flops plus primary outputs); carried along for the schemes.
     state_bits: u64,
+    /// Live-node count, maintained incrementally (slots minus retired).
+    live: usize,
+    /// Retired slots awaiting [`Self::compact`].
+    free: Vec<OperandId>,
+    spare: SparePool,
+    scratch: TraversalScratch,
+}
+
+impl Clone for OperandTree {
+    fn clone(&self) -> Self {
+        // Scratch and spare buffers are working storage, not tree state:
+        // clones start with empty pools.
+        Self {
+            name: self.name.clone(),
+            operands: self.operands.clone(),
+            state_bits: self.state_bits,
+            live: self.live,
+            free: self.free.clone(),
+            spare: SparePool::default(),
+            scratch: TraversalScratch::default(),
+        }
+    }
+}
+
+impl PartialEq for OperandTree {
+    fn eq(&self, other: &Self) -> bool {
+        // `live` and `free` are derivable from the slots' alive flags, and
+        // the scratch/spare pools are not tree state.
+        self.name == other.name
+            && self.operands == other.operands
+            && self.state_bits == other.state_bits
+    }
 }
 
 impl OperandTree {
@@ -208,14 +326,28 @@ impl OperandTree {
                 FeatureDict::new(external_inputs.len(), external_outputs.len().max(1), 0, estimate);
         }
 
-        let mut tree = Self {
-            name: netlist.name().to_string(),
+        let mut tree = Self::from_parts(
+            netlist.name().to_string(),
             operands,
-            state_bits: netlist.architectural_state_bits(),
-        };
+            netlist.architectural_state_bits(),
+        );
         tree.recompute_levels();
         tree.validate()?;
         Ok(tree)
+    }
+
+    /// Assembles a tree around a freshly built (all-alive) operand arena.
+    fn from_parts(name: String, operands: Vec<Operand>, state_bits: u64) -> Self {
+        let live = operands.len();
+        Self {
+            name,
+            operands,
+            state_bits,
+            live,
+            free: Vec::new(),
+            spare: SparePool::default(),
+            scratch: TraversalScratch::default(),
+        }
     }
 
     /// Starts building a tree from explicit nodes (energies given directly),
@@ -236,7 +368,28 @@ impl OperandTree {
     /// Number of live operands.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.operands.iter().filter(|o| o.alive).count()
+        self.live
+    }
+
+    /// Total number of arena slots, including retired ones — the bound for
+    /// slot-indexed side tables (see e.g. the replacement traversal).
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.operands.len()
+    }
+
+    /// Number of retired slots currently on the free-list (reclaimable via
+    /// [`Self::compact`]).
+    #[must_use]
+    pub fn retired(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of recycled node buffers currently waiting in the spare pool
+    /// (a diagnostic for the steady-state allocation behaviour).
+    #[must_use]
+    pub fn recycled_buffers(&self) -> usize {
+        self.spare.len()
     }
 
     /// Whether the tree has no live operands.
@@ -311,12 +464,12 @@ impl OperandTree {
     /// Live operands grouped by level (index 0 = leaves).
     #[must_use]
     pub fn by_level(&self) -> Vec<Vec<OperandId>> {
-        let mut map: BTreeMap<u32, Vec<OperandId>> = BTreeMap::new();
+        let max = self.max_level();
+        let mut levels: Vec<Vec<OperandId>> = vec![Vec::new(); max as usize + 1];
         for op in self.iter() {
-            map.entry(op.dict.level).or_default().push(op.id);
+            levels[op.dict.level as usize].push(op.id);
         }
-        let max = map.keys().copied().max().unwrap_or(0);
-        (0..=max).map(|l| map.remove(&l).unwrap_or_default()).collect()
+        levels
     }
 
     /// Sum of the per-activation energies of all live operands.
@@ -330,18 +483,17 @@ impl OperandTree {
     #[must_use]
     pub fn critical_path(&self) -> Seconds {
         let order = self.topological_order();
-        let mut arrival: HashMap<OperandId, Seconds> = HashMap::new();
+        // Slot-indexed arrival times; unvisited slots stay at zero, which is
+        // the fold identity, so no liveness filtering is needed.
+        let mut arrival = vec![Seconds::ZERO; self.operands.len()];
         let mut worst = Seconds::ZERO;
         for id in order {
             let op = self.operand(id);
-            let start = op
-                .children
-                .iter()
-                .filter_map(|c| arrival.get(c).copied())
-                .fold(Seconds::ZERO, Seconds::max);
+            let start =
+                op.children.iter().map(|c| arrival[c.index()]).fold(Seconds::ZERO, Seconds::max);
             let t = start + op.dict.delay();
             worst = worst.max(t);
-            arrival.insert(id, t);
+            arrival[id.index()] = t;
         }
         worst
     }
@@ -355,30 +507,46 @@ impl OperandTree {
     /// Live operands in a topological order (children before parents).
     #[must_use]
     pub fn topological_order(&self) -> Vec<OperandId> {
+        let mut scratch = TraversalScratch::default();
         let mut order = Vec::with_capacity(self.len());
-        let mut remaining: HashMap<OperandId, usize> = self
-            .iter()
-            .map(|o| (o.id, o.children.iter().filter(|c| self.is_alive(**c)).count()))
-            .collect();
-        let mut ready: Vec<OperandId> =
-            remaining.iter().filter(|(_, &d)| d == 0).map(|(&id, _)| id).collect();
-        ready.sort_unstable();
-        while let Some(id) = ready.pop() {
-            order.push(id);
+        self.topological_order_into(&mut scratch, &mut order);
+        order
+    }
+
+    /// Kahn's algorithm on flat slot-indexed scratch.  The ready set is kept
+    /// sorted ascending and popped from the back, so the node picked at every
+    /// step is the highest ready id — bit-identical to the historical
+    /// sort-then-pop implementation.
+    fn topological_order_into(&self, scratch: &mut TraversalScratch, out: &mut Vec<OperandId>) {
+        out.clear();
+        scratch.indegree.clear();
+        scratch.indegree.resize(self.operands.len(), 0);
+        scratch.ready.clear();
+        for op in &self.operands {
+            if !op.alive {
+                continue;
+            }
+            let degree = op.children.iter().filter(|c| self.is_alive(**c)).count() as u32;
+            scratch.indegree[op.id.index()] = degree;
+            if degree == 0 {
+                // Slot scan order is ascending, so `ready` starts sorted.
+                scratch.ready.push(op.id);
+            }
+        }
+        while let Some(id) = scratch.ready.pop() {
+            out.push(id);
             for &parent in &self.operands[id.index()].parents {
                 if !self.is_alive(parent) {
                     continue;
                 }
-                if let Some(d) = remaining.get_mut(&parent) {
-                    *d -= 1;
-                    if *d == 0 {
-                        ready.push(parent);
-                    }
+                let degree = &mut scratch.indegree[parent.index()];
+                *degree -= 1;
+                if *degree == 0 {
+                    let pos = scratch.ready.binary_search(&parent).unwrap_or_else(|p| p);
+                    scratch.ready.insert(pos, parent);
                 }
             }
-            ready.sort_unstable();
         }
-        order
     }
 
     fn is_alive(&self, id: OperandId) -> bool {
@@ -388,23 +556,31 @@ impl OperandTree {
     // --- structural edits ---------------------------------------------------
 
     /// Recomputes every live operand's level from the DAG (leaves = 0).
+    ///
+    /// Runs on the tree's own scratch buffers — called after every split and
+    /// merge, it allocates nothing once those buffers have grown to the
+    /// arena's size.
     pub fn recompute_levels(&mut self) {
-        let order = self.topological_order();
-        let mut level: HashMap<OperandId, u32> = HashMap::new();
-        for id in order {
-            let op = &self.operands[id.index()];
-            let l = op
-                .children
-                .iter()
-                .filter(|c| self.is_alive(**c))
-                .filter_map(|c| level.get(c).copied())
-                .max()
-                .map_or(0, |m| m + 1);
-            level.insert(id, l);
+        let mut scratch = mem::take(&mut self.scratch);
+        let mut order = mem::take(&mut scratch.order);
+        self.topological_order_into(&mut scratch, &mut order);
+        scratch.levels.clear();
+        scratch.levels.resize(self.operands.len(), 0);
+        for &id in &order {
+            let level = {
+                let op = &self.operands[id.index()];
+                op.children
+                    .iter()
+                    .filter(|c| self.is_alive(**c))
+                    .map(|c| scratch.levels[c.index()] + 1)
+                    .max()
+                    .unwrap_or(0)
+            };
+            scratch.levels[id.index()] = level;
+            self.operands[id.index()].dict.level = level;
         }
-        for (id, l) in level {
-            self.operands[id.index()].dict.level = l;
-        }
+        scratch.order = order;
+        self.scratch = scratch;
     }
 
     /// Splits a live operand into `parts` chained sub-operands (Policy1).
@@ -423,41 +599,61 @@ impl OperandTree {
         parts: usize,
         library: &CellLibrary,
     ) -> Result<Vec<OperandId>, DiacError> {
+        let mut new_ids = Vec::with_capacity(parts);
+        self.split_operand_into(id, parts, library, &mut new_ids)?;
+        Ok(new_ids)
+    }
+
+    /// Like [`Self::split_operand`], but appends the new ids to a
+    /// caller-provided buffer instead of allocating one — the form the
+    /// policy loop uses so that steady-state restructuring performs no heap
+    /// allocation at all.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::split_operand`]; on error nothing is appended and the
+    /// tree is unchanged.
+    pub fn split_operand_into(
+        &mut self,
+        id: OperandId,
+        parts: usize,
+        library: &CellLibrary,
+        out: &mut Vec<OperandId>,
+    ) -> Result<(), DiacError> {
         if parts < 2 {
             return Err(DiacError::InvalidConfig {
                 message: "splitting requires at least two parts".to_string(),
             });
         }
         // Take ownership of the pieces we redistribute instead of cloning the
-        // whole node — the original is retired below, so its gate and edge
-        // lists would only be dropped otherwise (this runs inside the policy
-        // loop, once per oversized operand).
+        // whole node — the original is retired below, and its buffers (plus
+        // the spares recycled from earlier retirements) provide the storage
+        // of the new parts, so the policy loop's steady state allocates
+        // nothing here.
         let original_dict = self.operand(id).dict;
-        let original_name = self.operand(id).name.clone();
         let gate_count = self.operand(id).gates.len();
         let gate_based = gate_count != 0;
         if gate_based && gate_count < parts {
             return Err(DiacError::InvalidConfig {
                 message: format!(
-                    "operand {original_name} has only {gate_count} gates, cannot split into \
-                     {parts} parts",
+                    "operand {} has only {gate_count} gates, cannot split into {parts} parts",
+                    self.operand(id).name,
                 ),
             });
         }
+        let mut original_name = self.spare.name_buf();
+        original_name.push_str(&self.operands[id.index()].name);
         let node = &mut self.operands[id.index()];
         let original_gates = mem::take(&mut node.gates);
         let original_children = mem::take(&mut node.children);
-        let original_parents = mem::take(&mut node.parents);
+        let mut original_parents = mem::take(&mut node.parents);
         node.alive = false;
+        self.live -= 1;
+        self.free.push(id);
 
-        // Prepare the per-part gate lists / estimates.
-        let mut part_gates: Vec<Vec<GateId>> = vec![Vec::new(); parts];
-        if gate_based {
-            let chunk = gate_count.div_ceil(parts);
-            for (i, g) in original_gates.into_iter().enumerate() {
-                part_gates[(i / chunk).min(parts - 1)].push(g);
-            }
-        }
+        // Per-part gate ranges and estimates.  Gate-based parts take `chunk`
+        // consecutive gates each, the last part absorbing the remainder.
+        let chunk = if gate_based { gate_count.div_ceil(parts) } else { 0 };
         let explicit_estimate = if gate_based {
             None
         } else {
@@ -471,28 +667,43 @@ impl OperandTree {
             })
         };
 
-        // Create the chain.
-        let mut new_ids = Vec::with_capacity(parts);
-        for (i, gates) in part_gates.into_iter().enumerate() {
+        // Create the chain, appending the new ids to `out` from `base`.
+        let base = out.len();
+        for i in 0..parts {
             let new_id = OperandId(self.operands.len() as u32);
             // Gate-based parts get a placeholder estimate here and are
             // re-estimated from their gates once the chain is wired up.
             let estimate = explicit_estimate.unwrap_or_default();
-            let children = if i == 0 { Vec::new() } else { vec![new_ids[i - 1]] };
+            let mut gates = self.spare.gates_buf();
+            if gate_based {
+                let start = (i * chunk).min(gate_count);
+                let end =
+                    if i + 1 == parts { gate_count } else { ((i + 1) * chunk).min(gate_count) };
+                gates.extend_from_slice(&original_gates[start..end]);
+            }
+            let mut children = self.spare.edge_buf();
+            if i > 0 {
+                children.push(out[base + i - 1]);
+            }
+            let mut name = self.spare.name_buf();
+            let _ = write!(name, "{original_name}_{i}");
             let fan_in = if i == 0 { original_dict.fan_in } else { 1 };
             let fan_out = if i + 1 == parts { original_dict.fan_out } else { 1 };
             let dict = FeatureDict::new(fan_in, fan_out, original_dict.level, estimate);
+            let parents = self.spare.edge_buf();
             self.operands.push(Operand {
                 id: new_id,
-                name: format!("{original_name}_{i}"),
+                name,
                 gates,
                 children,
-                parents: Vec::new(),
+                parents,
                 dict,
                 alive: true,
             });
-            new_ids.push(new_id);
+            self.live += 1;
+            out.push(new_id);
         }
+        let new_ids = &out[base..];
         // Chain the parents/children of intermediate parts.
         for i in 0..parts - 1 {
             let next = new_ids[i + 1];
@@ -520,17 +731,22 @@ impl OperandTree {
             }
         }
         // Hand the original's edge lists to the chain ends (the first part
-        // inherits the children, the last part the parents).
-        self.operands[first.index()].children = original_children;
-        self.operands[last.index()].parents.extend(original_parents);
+        // inherits the children, the last part the parents), and recycle
+        // every buffer the chain did not absorb.
+        let unused = mem::replace(&mut self.operands[first.index()].children, original_children);
+        self.spare.recycle_edges(unused);
+        self.operands[last.index()].parents.append(&mut original_parents);
+        self.spare.recycle_edges(original_parents);
+        self.spare.recycle_gates(original_gates);
+        self.spare.recycle_name(original_name);
         // Recompute estimates of the gate-based parts.
         if gate_based {
-            for &nid in &new_ids {
-                self.reestimate(nid, library);
+            for i in 0..parts {
+                self.reestimate(out[base + i], library);
             }
         }
         self.recompute_levels();
-        Ok(new_ids)
+        Ok(())
     }
 
     /// Merges two adjacent live operands into one (Policy2).  The survivor is
@@ -558,45 +774,20 @@ impl OperandTree {
             });
         }
         // Take ownership of b's pieces instead of cloning the node — b is
-        // retired here, and this runs inside the policy loop, once per
-        // undersized operand pair.
+        // retired here, its buffers recycled into the spare pool, so the
+        // policy loop's steady state allocates nothing.
         let b_dict = self.operands[b.index()].dict;
-        let b_gates = mem::take(&mut self.operands[b.index()].gates);
-        let b_children = mem::take(&mut self.operands[b.index()].children);
-        let b_parents = mem::take(&mut self.operands[b.index()].parents);
+        let mut b_gates = mem::take(&mut self.operands[b.index()].gates);
+        let mut b_children = mem::take(&mut self.operands[b.index()].children);
+        let mut b_parents = mem::take(&mut self.operands[b.index()].parents);
         self.operands[b.index()].alive = false;
+        self.live -= 1;
+        self.free.push(b);
 
-        // Fold b's structure into a.
-        let gate_based;
-        {
-            let a_node = &mut self.operands[a.index()];
-            gate_based = !a_node.gates.is_empty() || !b_gates.is_empty();
-            a_node.gates.extend(b_gates);
-            let merged_estimate = a_node.dict.estimate.merged_with(&b_dict.estimate);
-            a_node.dict.fan_in += b_dict.fan_in;
-            a_node.dict.fan_out = (a_node.dict.fan_out + b_dict.fan_out).saturating_sub(1);
-            a_node.dict.estimate = merged_estimate;
-            a_node.dict.gate_count = merged_estimate.gate_count;
-            let children: BTreeSet<OperandId> = a_node
-                .children
-                .iter()
-                .chain(b_children.iter())
-                .copied()
-                .filter(|&c| c != a && c != b)
-                .collect();
-            a_node.children = children.into_iter().collect();
-            let parents: BTreeSet<OperandId> = a_node
-                .parents
-                .iter()
-                .chain(b_parents.iter())
-                .copied()
-                .filter(|&p| p != a && p != b)
-                .collect();
-            a_node.parents = parents.into_iter().collect();
-        }
         // Re-point the operands that referenced b.  Edges are symmetric, so
         // only b's former neighbours can hold such references — no need to
-        // scan the whole operand table.
+        // scan the whole operand table.  (This only touches nodes other than
+        // a, so it commutes with the fold below.)
         for &neighbour in b_children.iter().chain(b_parents.iter()) {
             let Some(op) = self.operands.get_mut(neighbour.index()) else { continue };
             if !op.alive || op.id == a {
@@ -622,17 +813,70 @@ impl OperandTree {
                 op.parents.dedup();
             }
         }
-        // Remove any self-loops created by the merge.
+        // Fold b's structure into a: in-place union of the edge lists
+        // (extend, drop self-loops, sort, dedup — the same sorted unique
+        // result the previous set-based implementation produced).
+        let gate_based;
         {
             let a_node = &mut self.operands[a.index()];
-            a_node.children.retain(|&c| c != a);
-            a_node.parents.retain(|&p| p != a);
+            gate_based = !a_node.gates.is_empty() || !b_gates.is_empty();
+            a_node.gates.append(&mut b_gates);
+            let merged_estimate = a_node.dict.estimate.merged_with(&b_dict.estimate);
+            a_node.dict.fan_in += b_dict.fan_in;
+            a_node.dict.fan_out = (a_node.dict.fan_out + b_dict.fan_out).saturating_sub(1);
+            a_node.dict.estimate = merged_estimate;
+            a_node.dict.gate_count = merged_estimate.gate_count;
+            a_node.children.append(&mut b_children);
+            a_node.children.retain(|&c| c != a && c != b);
+            a_node.children.sort_unstable();
+            a_node.children.dedup();
+            a_node.parents.append(&mut b_parents);
+            a_node.parents.retain(|&p| p != a && p != b);
+            a_node.parents.sort_unstable();
+            a_node.parents.dedup();
         }
+        self.spare.recycle_gates(b_gates);
+        self.spare.recycle_edges(b_children);
+        self.spare.recycle_edges(b_parents);
         if gate_based {
             self.reestimate(a, library);
         }
         self.recompute_levels();
         Ok(a)
+    }
+
+    /// Reclaims the retired slots on the free-list by rebuilding the arena
+    /// densely and remapping every id.
+    ///
+    /// Ids are normally append-only (the deterministic contract of the
+    /// restructuring flow — see the module docs), so long-running users that
+    /// split and merge heavily call this explicitly once a restructuring
+    /// phase is over.  Live operands keep their relative order, so
+    /// iteration-order-dependent outputs are unchanged; only the numeric ids
+    /// are renumbered densely.
+    pub fn compact(&mut self) {
+        if self.free.is_empty() {
+            return;
+        }
+        let mut remap: Vec<Option<OperandId>> = vec![None; self.operands.len()];
+        let mut dense: Vec<Operand> = Vec::with_capacity(self.live);
+        for op in self.operands.drain(..) {
+            if op.alive {
+                remap[op.id.index()] = Some(OperandId(dense.len() as u32));
+                dense.push(op);
+            }
+        }
+        for op in &mut dense {
+            op.id = remap[op.id.index()].expect("live operands are remapped");
+            for c in &mut op.children {
+                *c = remap[c.index()].expect("children of live operands are live");
+            }
+            for p in &mut op.parents {
+                *p = remap[p.index()].expect("parents of live operands are live");
+            }
+        }
+        self.operands = dense;
+        self.free.clear();
     }
 
     fn reestimate(&mut self, id: OperandId, library: &CellLibrary) {
@@ -805,7 +1049,7 @@ impl OperandTreeBuilder {
         for (child, parent) in edges {
             operands[child.index()].parents.push(parent);
         }
-        let mut tree = OperandTree { name: self.name, operands, state_bits: 0 };
+        let mut tree = OperandTree::from_parts(self.name, operands, 0);
         tree.recompute_levels();
         tree.validate()?;
         Ok(tree)
@@ -1013,6 +1257,93 @@ mod tests {
             assert!(text.contains(&op.name));
         }
         assert!(tree.to_string().contains("operand tree"));
+    }
+
+    #[test]
+    fn retired_slots_land_on_the_free_list_and_buffers_are_recycled() {
+        let mut tree = s27_tree();
+        assert_eq!(tree.retired(), 0);
+        assert_eq!(tree.slots(), tree.len());
+        let (parent, child) =
+            tree.iter().find_map(|o| o.children.first().map(|&c| (o.id, c))).expect("edge");
+        tree.merge_operands(parent, child, &lib()).unwrap();
+        assert_eq!(tree.retired(), 1);
+        // The retired node's gate list, two edge lists (and, for splits, the
+        // name buffer) are recycled into the spare pool.
+        assert!(tree.recycled_buffers() >= 3);
+        let pooled = tree.recycled_buffers();
+        let big = tree.iter().find(|o| o.gates.len() >= 2).map(|o| o.id).expect("splittable");
+        let parts = tree.split_operand(big, 2, &lib()).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(tree.retired(), 2);
+        // The split drew part storage from the pool and returned the
+        // original's buffers, so the pool never grows unboundedly.
+        assert!(tree.recycled_buffers() <= pooled + 4);
+        assert!(tree.validate().is_ok());
+    }
+
+    #[test]
+    fn compact_reclaims_retired_slots_and_preserves_the_tree_shape() {
+        let mut tree = s27_tree();
+        let big = tree.iter().find(|o| o.gates.len() >= 2).map(|o| o.id).expect("splittable");
+        tree.split_operand(big, 2, &lib()).unwrap();
+        let (parent, child) =
+            tree.iter().find_map(|o| o.children.first().map(|&c| (o.id, c))).expect("edge");
+        tree.merge_operands(parent, child, &lib()).unwrap();
+        assert!(tree.retired() >= 2);
+
+        let names_before: Vec<String> = tree.iter().map(|o| o.name.clone()).collect();
+        let energy_before = tree.total_energy();
+        let order_before: Vec<String> =
+            tree.topological_order().iter().map(|&id| tree.operand(id).name.clone()).collect();
+
+        tree.compact();
+        assert_eq!(tree.retired(), 0);
+        assert_eq!(tree.slots(), tree.len());
+        assert!(tree.validate().is_ok());
+        // Live operands keep their relative order, names and energies; ids
+        // are renumbered densely.
+        let names_after: Vec<String> = tree.iter().map(|o| o.name.clone()).collect();
+        assert_eq!(names_before, names_after);
+        assert!((tree.total_energy().value() - energy_before.value()).abs() < 1e-18);
+        let order_after: Vec<String> =
+            tree.topological_order().iter().map(|&id| tree.operand(id).name.clone()).collect();
+        assert_eq!(order_before, order_after);
+        for (slot, op) in tree.iter().enumerate() {
+            assert_eq!(op.id.index(), slot, "compact renumbers ids densely");
+        }
+        // Compacting a dense tree is a no-op.
+        let snapshot = tree.clone();
+        tree.compact();
+        assert_eq!(tree, snapshot);
+    }
+
+    #[test]
+    fn split_into_reuses_the_callers_id_buffer() {
+        let mut tree = s27_tree();
+        let big = tree.iter().find(|o| o.gates.len() >= 2).map(|o| o.id).expect("splittable");
+        let mut ids = Vec::new();
+        tree.split_operand_into(big, 2, &lib(), &mut ids).unwrap();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.iter().all(|&id| tree.try_operand(id).is_some()));
+        // Errors append nothing.
+        let before = ids.clone();
+        assert!(tree.split_operand_into(ids[0], 1, &lib(), &mut ids).is_err());
+        assert_eq!(ids, before);
+    }
+
+    #[test]
+    fn clones_compare_equal_but_start_with_cold_pools() {
+        let mut tree = s27_tree();
+        let (parent, child) =
+            tree.iter().find_map(|o| o.children.first().map(|&c| (o.id, c))).expect("edge");
+        tree.merge_operands(parent, child, &lib()).unwrap();
+        assert!(tree.recycled_buffers() > 0);
+        let clone = tree.clone();
+        assert_eq!(clone, tree, "pools are working storage, not tree state");
+        assert_eq!(clone.recycled_buffers(), 0);
+        assert_eq!(clone.retired(), tree.retired());
+        assert_eq!(clone.len(), tree.len());
     }
 
     #[test]

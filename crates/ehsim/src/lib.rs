@@ -46,4 +46,4 @@ pub use capacitor::Capacitor;
 pub use pmu::{OperatingZone, PowerEvent, PowerManagementUnit, Thresholds};
 pub use schedule::Schedule;
 pub use source::{HarvestSource, MarkovSource, PiecewiseSource, RfidSource, SolarSource};
-pub use trace::{TraceRecorder, TraceSample};
+pub use trace::{NullSink, TraceRecorder, TraceSample, TraceSink};

@@ -118,7 +118,19 @@ impl Schedule {
     /// sample.
     #[must_use]
     pub fn to_source(&self) -> PiecewiseSource {
-        PiecewiseSource::new(self.segments.clone(), self.cyclic, self.duration)
+        self.to_source_reusing(Vec::new())
+    }
+
+    /// Like [`Self::to_source`], but fills a caller-provided segment buffer
+    /// (cleared first) instead of allocating a fresh one.  Campaign workers
+    /// recycle the buffer of a finished run's source (see
+    /// [`PiecewiseSource::into_segments`]) through this, so repeated
+    /// schedule-driven runs stop allocating.
+    #[must_use]
+    pub fn to_source_reusing(&self, mut buffer: Vec<(Seconds, Power)>) -> PiecewiseSource {
+        buffer.clear();
+        buffer.extend_from_slice(&self.segments);
+        PiecewiseSource::new(buffer, self.cyclic, self.duration)
     }
 
     /// Average charging rate over one cycle of the schedule.

@@ -257,6 +257,14 @@ impl PiecewiseSource {
     pub fn duration(&self) -> Seconds {
         self.total
     }
+
+    /// Consumes the source and returns its segment buffer, so a finished
+    /// run's allocation can be recycled into the next source (see
+    /// [`crate::schedule::Schedule::to_source_reusing`]).
+    #[must_use]
+    pub fn into_segments(self) -> Vec<(Seconds, Power)> {
+        self.segments
+    }
 }
 
 impl HarvestSource for PiecewiseSource {

@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 use tech45::units::{Energy, Power, Seconds};
 
 /// One sample of the simulation state.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceSample {
     /// Simulation time.
     pub time: Seconds,
@@ -22,11 +22,52 @@ pub struct TraceSample {
     pub state: &'static str,
 }
 
+/// Consumes the per-tick samples of a simulation run.
+///
+/// The executor's step loop is generic over its sink, so the choice between
+/// "record everything" ([`TraceRecorder`]) and "record nothing"
+/// ([`NullSink`]) is made at compile time: the no-op fast path costs neither
+/// a branch nor an allocation, which is what keeps untraced benchmark and
+/// campaign runs heap-free after setup.
+pub trait TraceSink {
+    /// Records one sample.
+    fn record(&mut self, sample: TraceSample);
+
+    /// Whether the sink actually stores samples (diagnostic; the default
+    /// says yes).
+    fn is_recording(&self) -> bool {
+        true
+    }
+}
+
+/// The compile-time no-op sink: every sample is discarded for free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn record(&mut self, _sample: TraceSample) {}
+
+    fn is_recording(&self) -> bool {
+        false
+    }
+}
+
 /// Collects [`TraceSample`]s during a run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceRecorder {
     samples: Vec<TraceSample>,
     enabled: bool,
+}
+
+impl TraceSink for TraceRecorder {
+    fn record(&mut self, sample: TraceSample) {
+        TraceRecorder::record(self, sample);
+    }
+
+    fn is_recording(&self) -> bool {
+        self.enabled
+    }
 }
 
 impl TraceRecorder {
@@ -150,6 +191,18 @@ mod tests {
         assert!(rec.is_empty());
         assert!(!rec.is_enabled());
         assert!(rec.min_stored().is_none());
+    }
+
+    #[test]
+    fn sinks_report_whether_they_record() {
+        let mut null = NullSink;
+        TraceSink::record(&mut null, sample(0.0, 1.0));
+        assert!(!null.is_recording());
+        let mut rec = TraceRecorder::new();
+        TraceSink::record(&mut rec, sample(0.0, 1.0));
+        assert!(TraceSink::is_recording(&rec));
+        assert_eq!(rec.len(), 1);
+        assert!(!TraceSink::is_recording(&TraceRecorder::disabled()));
     }
 
     #[test]

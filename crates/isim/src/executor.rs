@@ -8,7 +8,7 @@
 use ehsim::capacitor::Capacitor;
 use ehsim::schedule::Schedule;
 use ehsim::source::HarvestSource;
-use ehsim::trace::{TraceRecorder, TraceSample};
+use ehsim::trace::{NullSink, TraceRecorder, TraceSample, TraceSink};
 use tech45::units::{Energy, Power, Seconds};
 
 use crate::fsm::{FsmConfig, NodeFsm};
@@ -58,25 +58,37 @@ impl<S: HarvestSource> IntermittentExecutor<S> {
         &self.capacitor
     }
 
+    /// Consumes the executor and returns its harvest source — the campaign
+    /// engine uses this to recycle source buffers across runs.
+    #[must_use]
+    pub fn into_source(self) -> S {
+        self.source
+    }
+
     /// Runs the simulation for `duration` in steps of `dt` and returns the
     /// accumulated statistics.
+    ///
+    /// The tick loop runs against the no-op [`NullSink`], so an untraced run
+    /// performs no heap allocation after setup (asserted by the
+    /// counting-allocator integration test).
     pub fn run(&mut self, duration: Seconds, dt: Seconds) -> RunStats {
-        let mut recorder = TraceRecorder::disabled();
-        self.run_recording(duration, dt, &mut recorder)
+        self.run_with_sink(duration, dt, &mut NullSink)
     }
 
     /// Runs the simulation while recording a trace (the Fig. 4 data).
     pub fn run_with_trace(&mut self, duration: Seconds, dt: Seconds) -> (RunStats, TraceRecorder) {
         let mut recorder = TraceRecorder::new();
-        let stats = self.run_recording(duration, dt, &mut recorder);
+        let stats = self.run_with_sink(duration, dt, &mut recorder);
         (stats, recorder)
     }
 
-    fn run_recording(
+    /// Runs the simulation against an arbitrary [`TraceSink`].  The loop is
+    /// monomorphised per sink type, so no-op sinks cost nothing.
+    pub fn run_with_sink<K: TraceSink>(
         &mut self,
         duration: Seconds,
         dt: Seconds,
-        recorder: &mut TraceRecorder,
+        sink: &mut K,
     ) -> RunStats {
         assert!(dt.value() > 0.0, "time step must be positive");
         let steps = (duration.as_seconds() / dt.as_seconds()).ceil() as u64;
@@ -94,7 +106,7 @@ impl<S: HarvestSource> IntermittentExecutor<S> {
             self.fsm.step(&mut self.capacitor, now, dt);
             let consumed = (before + banked - self.capacitor.energy()).max(Energy::ZERO);
             consumed_total += consumed;
-            recorder.record(TraceSample {
+            sink.record(TraceSample {
                 time: now,
                 stored: self.capacitor.energy(),
                 harvest: power,
@@ -133,6 +145,28 @@ mod tests {
         // The node makes forward progress overall.
         assert!(stats.samples_sensed >= 1, "{stats}");
         assert!(stats.computations_completed >= 1, "{stats}");
+    }
+
+    #[test]
+    fn the_sink_choice_does_not_change_the_statistics() {
+        let mut untraced = IntermittentExecutor::new(FsmConfig::paper_default(), Schedule::fig4());
+        let stats = untraced.run(Seconds::new(1500.0), Seconds::new(0.1));
+        let mut traced = IntermittentExecutor::new(FsmConfig::paper_default(), Schedule::fig4());
+        let (traced_stats, trace) = traced.run_with_trace(Seconds::new(1500.0), Seconds::new(0.1));
+        assert_eq!(stats, traced_stats);
+        assert_eq!(trace.len(), 15_000);
+        let mut null = IntermittentExecutor::new(FsmConfig::paper_default(), Schedule::fig4());
+        let mut sink = ehsim::trace::NullSink;
+        assert_eq!(null.run_with_sink(Seconds::new(1500.0), Seconds::new(0.1), &mut sink), stats);
+    }
+
+    #[test]
+    fn into_source_returns_the_harvester() {
+        let source = ConstantSource::new(Power::from_milliwatts(1.0));
+        let mut exec = IntermittentExecutor::with_source(FsmConfig::paper_default(), source);
+        let _ = exec.run(Seconds::new(10.0), Seconds::new(1.0));
+        let recovered = exec.into_source();
+        assert_eq!(recovered, source);
     }
 
     #[test]

@@ -94,7 +94,12 @@ pub fn run(config: &CampaignConfig) -> CampaignResult {
 #[must_use]
 pub fn run_with(runner: &ParallelRunner, config: &CampaignConfig) -> CampaignResult {
     let scenarios: Vec<Scenario> = config.space.scenarios(config.seed);
-    let stats = runner.map(&scenarios, |_, scenario| scenario.run(config.duration, config.dt));
+    // Every worker owns one `SourceScratch`, so the fan-out recycles source
+    // buffers across the runs it claims instead of allocating per run.
+    let stats =
+        runner.map_init(&scenarios, crate::space::SourceScratch::new, |scratch, _, scenario| {
+            scenario.run_with_scratch(config.duration, config.dt, scratch)
+        });
 
     let mut overall = Aggregator::new();
     let mut families: Vec<(SourceFamily, Aggregator)> = SourceFamily::ALL

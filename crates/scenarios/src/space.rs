@@ -160,6 +160,58 @@ impl SourceSpec {
             SourceSpec::Schedule(schedule) => AnySource::Piecewise(schedule.to_source()),
         }
     }
+
+    /// Materialises the seeded source directly, recycling `scratch`'s
+    /// buffers: equivalent to `self.reseeded(scenario_seed).build()` but
+    /// without cloning the spec, and piecewise schedules reuse the segment
+    /// buffer of the previous run's source.  The campaign hot path.
+    #[must_use]
+    pub fn build_seeded(&self, scenario_seed: u64, scratch: &mut SourceScratch) -> AnySource {
+        match self {
+            SourceSpec::Constant { power } => AnySource::Constant(ConstantSource::new(*power)),
+            SourceSpec::Rfid { peak, period, duty_cycle, jitter, seed } => AnySource::Rfid(
+                RfidSource::new(*peak, *period, *duty_cycle, *jitter, mix(*seed, scenario_seed)),
+            ),
+            SourceSpec::Solar { peak, day_length, cloudiness, seed } => AnySource::Solar(
+                SolarSource::new(*peak, *day_length, *cloudiness, mix(*seed, scenario_seed)),
+            ),
+            SourceSpec::Markov { on_power, mean_on, mean_off, seed } => AnySource::Markov(
+                MarkovSource::new(*on_power, *mean_on, *mean_off, mix(*seed, scenario_seed)),
+            ),
+            SourceSpec::Schedule(schedule) => {
+                AnySource::Piecewise(schedule.to_source_reusing(scratch.take_piecewise()))
+            }
+        }
+    }
+}
+
+/// Recycled buffers for materialising sources — one per campaign worker,
+/// threaded through [`crate::ParallelRunner::map_init`] so that repeated
+/// runs reuse their allocations instead of repeating them.
+#[derive(Debug, Default)]
+pub struct SourceScratch {
+    piecewise: Vec<(Seconds, Power)>,
+}
+
+impl SourceScratch {
+    /// A scratch with no spare buffers yet.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out the spare piecewise segment buffer (empty, capacity
+    /// retained).
+    fn take_piecewise(&mut self) -> Vec<(Seconds, Power)> {
+        std::mem::take(&mut self.piecewise)
+    }
+
+    /// Recovers the buffers of a finished run's source for the next run.
+    pub fn recycle(&mut self, source: AnySource) {
+        if let AnySource::Piecewise(piecewise) = source {
+            self.piecewise = piecewise.into_segments();
+        }
+    }
 }
 
 /// A harvest source of any family, dispatching [`HarvestSource`] by enum

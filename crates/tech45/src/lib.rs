@@ -14,7 +14,7 @@
 //! * [`flipflop`] — volatile D flip-flops, non-volatile flip-flops (NV-FF),
 //!   and logic-embedded flip-flops (LE-FF, the NV-Clustering storage element).
 //! * [`nvm`] — device-level models for MRAM, ReRAM, FeRAM and PCM bit cells.
-//! * [`array`] — a mini-CACTI analytical model for NVM / SRAM arrays
+//! * [`mod@array`] — a mini-CACTI analytical model for NVM / SRAM arrays
 //!   (peripheral overheads scale with the square root of the bit count).
 //! * [`energy_model`] — the paper's own aggregation formulas: dynamic energy
 //!   `≈ 2 · Σ delay_i · P_dyn,i` and static energy `≈ CDP · Σ P_stat,i`.
