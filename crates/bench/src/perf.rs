@@ -10,7 +10,14 @@
 //! * `replacement_s27` — the leaves-to-roots NVM replacement traversal on
 //!   the embedded `s27` circuit (the paper's worked example),
 //! * `campaign_216` — the full 216-run paper scenario campaign through the
-//!   `IntermittentExecutor` tick loop and the parallel work-queue.
+//!   `IntermittentExecutor` tick loop and the parallel work-queue,
+//! * `scalar_sim_s298` / `bitsim_s298` — 64 input patterns through the
+//!   scalar simulator (64 dense-slot passes) vs. the 64-lane `BitSim` (one
+//!   word-parallel pass over the CSR slices); the pair documents the
+//!   bit-parallel speedup in every artifact,
+//! * `equiv_s27` — the seeded functional-equivalence pass on the embedded
+//!   `s27`: materialise the DIAC-replaced netlist and compare it against
+//!   the original over the default vector budget.
 //!
 //! Every benchmark reports its per-iteration median (the robust statistic
 //! the CI gate compares), mean/min/max, and a runs-per-second figure; the
@@ -28,6 +35,9 @@ use std::time::Instant;
 use diac_core::policy::{apply_policy, Policy, PolicyBounds};
 use diac_core::replacement::{insert_nvm_boundaries, ReplacementConfig};
 use diac_core::tree::OperandTree;
+use netlist::bitsim::{lane, pack_lanes, BitSim};
+use netlist::equiv::EquivConfig;
+use netlist::sim::Simulator;
 use scenarios::campaign::run_with;
 use scenarios::ParallelRunner;
 
@@ -418,6 +428,58 @@ pub fn run_quick_suite(tag: &str, config: &SuiteConfig) -> PerfReport {
         time_iters(config.iters(10), || run_with(&runner, &campaign)),
     ));
 
+    // 4/5. functional simulation of s298: the same 64 input patterns per
+    // iteration, once as 64 scalar dense-slot passes and once as a single
+    // 64-lane word-parallel pass.  The median ratio is the bit-parallel
+    // speedup the README quotes.
+    let mut scalar_sim = Simulator::new(&s298).expect("s298 scalar simulator");
+    let pi_count = s298.primary_inputs().len();
+    let words: Vec<u64> =
+        (0..pi_count).map(|i| pack_lanes((0..64).map(|k| (k * 31 + i * 7) % 3 == 0))).collect();
+    benchmarks.push(BenchRecord::from_samples(
+        "scalar_sim_s298",
+        time_iters(config.iters(500), || {
+            let mut acc = false;
+            let mut pattern = vec![false; pi_count];
+            for k in 0..64_u32 {
+                for (slot, word) in pattern.iter_mut().zip(&words) {
+                    *slot = lane(*word, k);
+                }
+                let result = scalar_sim.step_dense(&pattern).expect("scalar step");
+                acc ^= result.outputs.iter().fold(false, |a, &b| a ^ b);
+            }
+            acc
+        }),
+    ));
+    let mut bit_sim = BitSim::new(&s298).expect("s298 bit simulator");
+    benchmarks.push(BenchRecord::from_samples(
+        "bitsim_s298",
+        time_iters(config.iters(500), || {
+            let result = bit_sim.step(&words).expect("bit step");
+            result.outputs.iter().fold(0_u64, |a, &b| a ^ b)
+        }),
+    ));
+
+    // 6. the seeded equivalence pass on s27: replaced-netlist
+    // materialisation plus the default random-vector comparison.
+    let s27_enhanced = insert_nvm_boundaries(s27_tree.clone(), &ReplacementConfig::default())
+        .expect("s27 replacement");
+    benchmarks.push(BenchRecord::from_samples(
+        "equiv_s27",
+        time_iters(config.iters(200), || {
+            let report = diac_core::verify::verify_replacement(
+                &s27,
+                s27_enhanced.tree(),
+                &EquivConfig::default(),
+            )
+            .expect("s27 equivalence");
+            // A counterexample would truncate the workload (early exit) and
+            // silently speed the bench up — fail loudly instead.
+            assert!(report.equivalent(), "{report}");
+            report
+        }),
+    ));
+
     PerfReport {
         tag: tag.to_string(),
         wall_ms: suite_start.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
@@ -538,13 +600,19 @@ mod tests {
     #[test]
     fn the_quick_suite_runs_at_smoke_scale() {
         let report = run_quick_suite("smoke", &SuiteConfig { scale: 0.0 });
-        assert_eq!(report.benchmarks.len(), 3);
+        assert_eq!(report.benchmarks.len(), 6);
         assert!(report.bench("tree_restructure_s298").is_some());
         assert!(report.bench("replacement_s27").is_some());
+        assert!(report.bench("equiv_s27").is_some());
         let campaign = report.bench("campaign_216").expect("campaign bench");
         assert!(campaign.median_ns > 0);
         assert_eq!(campaign.iterations, 3);
         let parsed = PerfReport::from_json(&report.to_json()).unwrap();
-        assert_eq!(parsed.benchmarks.len(), 3);
+        assert_eq!(parsed.benchmarks.len(), 6);
+        // No timing-ratio assertion here: at smoke scale (3 samples) a
+        // scheduler preemption could flake it.  The scalar-vs-BitSim ratio
+        // is enforced by the release perf gate against BENCH_baseline.json.
+        assert!(report.bench("scalar_sim_s298").is_some());
+        assert!(report.bench("bitsim_s298").is_some());
     }
 }

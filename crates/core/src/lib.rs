@@ -18,9 +18,11 @@
 //!    leaves towards the roots, accumulating unsaved energy; NVM boundaries
 //!    are inserted following the paper's three criteria (upper levels, high
 //!    power cones, high fan-in/fan-out nodes).
-//! 4. **Code generation and validation** ([`codegen`], [`timing`]): the
-//!    NV-enhanced tree is emitted as structural HDL and checked for timing
-//!    violations.
+//! 4. **Code generation and validation** ([`codegen`], [`timing`],
+//!    [`verify`]): the NV-enhanced tree is emitted as structural HDL,
+//!    checked for timing violations, and — opt-in — materialised as a
+//!    replaced netlist and checked for functional equivalence against the
+//!    original by seeded random-vector simulation.
 //! 5. **Evaluation** ([`pdp`], [`schemes`]): the four intermittent-computing
 //!    schemes the paper compares (NV-based, NV-Clustering, DIAC, Optimized
 //!    DIAC) are priced with a shared power-delay-product model under an
@@ -59,6 +61,7 @@ pub mod replacement;
 pub mod schemes;
 pub mod timing;
 pub mod tree;
+pub mod verify;
 
 pub use error::DiacError;
 pub use feature::FeatureDict;
@@ -70,6 +73,7 @@ pub use schemes::{
     compare_all_schemes, Calibration, SchemeComparison, SchemeContext, SchemeKind, SchemeResult,
 };
 pub use tree::{Operand, OperandId, OperandTree, TreeGeneratorConfig};
+pub use verify::{replaced_netlist, verify_replacement};
 
 pub use atomic::{plan_atomic_operations, AtomicOperation, AtomicPlan, OperationSpec};
 
@@ -88,5 +92,6 @@ pub mod prelude {
     };
     pub use crate::timing::{validate_timing, TimingReport};
     pub use crate::tree::{Operand, OperandId, OperandTree, TreeGeneratorConfig};
+    pub use crate::verify::{replaced_netlist, verify_replacement};
     pub use crate::DiacError;
 }

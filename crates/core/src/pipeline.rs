@@ -41,8 +41,9 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use netlist::equiv::{EquivConfig, EquivReport};
 use netlist::Netlist;
 use tech45::cells::CellLibrary;
 use tech45::nvm::NvmTechnology;
@@ -55,6 +56,7 @@ use crate::schemes::{
     SchemeContext, SchemeKind, SchemeResult,
 };
 use crate::tree::{OperandTree, TreeGeneratorConfig};
+use crate::verify;
 
 /// The relative bounds steering the restructuring policies, as used by the
 /// paper's evaluation (split above 25 % of the tree energy, merge below 2 %).
@@ -99,6 +101,9 @@ pub struct CircuitArtifacts {
     name: String,
     figures: CircuitFigures,
     base_tree: OperandTree,
+    /// The source netlist, kept for the opt-in functional-equivalence pass
+    /// ([`Self::verify_replacement`]).
+    netlist: Netlist,
     // Fingerprint of the context fields the cached products depend on.
     library: CellLibrary,
     tree_config: TreeGeneratorConfig,
@@ -107,6 +112,8 @@ pub struct CircuitArtifacts {
     // `&self`, so one set of artifacts can be shared across sweep points.
     restructured: Mutex<HashMap<Policy, OperandTree>>,
     replacements: Mutex<HashMap<ReplacementKey, ReplacementSummary>>,
+    replaced: Mutex<HashMap<ReplacementKey, Arc<Netlist>>>,
+    verifications: Mutex<HashMap<(ReplacementKey, EquivConfig), EquivReport>>,
 }
 
 impl CircuitArtifacts {
@@ -123,11 +130,14 @@ impl CircuitArtifacts {
             name: netlist.name().to_string(),
             figures,
             base_tree,
+            netlist: netlist.clone(),
             library: ctx.library.clone(),
             tree_config: ctx.tree_config,
             comb_activity: ctx.calibration.comb_activity,
             restructured: Mutex::new(HashMap::new()),
             replacements: Mutex::new(HashMap::new()),
+            replaced: Mutex::new(HashMap::new()),
+            verifications: Mutex::new(HashMap::new()),
         })
     }
 
@@ -143,10 +153,28 @@ impl CircuitArtifacts {
         &self.base_tree
     }
 
+    /// The source netlist these artifacts were built from.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
     /// Number of replacement runs currently cached (diagnostic).
     #[must_use]
     pub fn cached_replacements(&self) -> usize {
         self.replacements.lock().expect("replacement cache lock").len()
+    }
+
+    /// Number of equivalence verifications currently cached (diagnostic).
+    #[must_use]
+    pub fn cached_verifications(&self) -> usize {
+        self.verifications.lock().expect("verification cache lock").len()
+    }
+
+    /// Number of replaced netlists currently cached (diagnostic).
+    #[must_use]
+    pub fn cached_replaced_netlists(&self) -> usize {
+        self.replaced.lock().expect("replaced cache lock").len()
     }
 
     pub(crate) fn figures(&self) -> &CircuitFigures {
@@ -210,6 +238,63 @@ impl CircuitArtifacts {
         let summary = *enhanced.summary();
         self.replacements.lock().expect("replacement cache lock").insert(key, summary);
         Ok(summary)
+    }
+
+    /// The DIAC-replaced netlist under `ctx`'s policy / technology / budget
+    /// (NV buffers at every boundary operand's external outputs, see
+    /// [`crate::verify::replaced_netlist`]), computed once per replacement
+    /// coordinate and shared from the cache afterwards (`Arc`, no deep
+    /// copies on hits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiacError::InvalidConfig`] for stale artifacts and
+    /// propagates replacement and rewrite failures.
+    pub fn replaced_netlist(&self, ctx: &SchemeContext) -> Result<Arc<Netlist>, DiacError> {
+        self.check_context(ctx)?;
+        let mut config = ctx.replacement;
+        config.technology = ctx.nvm;
+        let key = ReplacementKey::new(ctx.policy, &config);
+        if let Some(replaced) = self.replaced.lock().expect("replaced cache lock").get(&key) {
+            return Ok(Arc::clone(replaced));
+        }
+        let tree = self.restructured_tree(ctx.policy, &ctx.library)?;
+        let enhanced = insert_nvm_boundaries(tree, &config)?;
+        let replaced = Arc::new(verify::replaced_netlist(&self.netlist, enhanced.tree())?);
+        self.replaced.lock().expect("replaced cache lock").insert(key, Arc::clone(&replaced));
+        Ok(replaced)
+    }
+
+    /// Opt-in functional verification of the DIAC replacement under `ctx`:
+    /// checks the replaced netlist ([`Self::replaced_netlist`], cached per
+    /// replacement coordinate) against the original with seeded random
+    /// vectors.  The reports are cached too, keyed by the replacement
+    /// coordinates plus the equivalence configuration, so re-verifying with
+    /// a different seed repeats only the cheap vector comparison — never
+    /// the restructuring, replacement, or netlist rewrite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiacError::InvalidConfig`] for stale artifacts (see
+    /// the context check every artifact use performs) and propagates
+    /// replacement and equivalence failures.
+    pub fn verify_replacement(
+        &self,
+        ctx: &SchemeContext,
+        equiv: &EquivConfig,
+    ) -> Result<EquivReport, DiacError> {
+        self.check_context(ctx)?;
+        let mut config = ctx.replacement;
+        config.technology = ctx.nvm;
+        let key = (ReplacementKey::new(ctx.policy, &config), *equiv);
+        if let Some(report) = self.verifications.lock().expect("verification cache lock").get(&key)
+        {
+            return Ok(report.clone());
+        }
+        let replaced = self.replaced_netlist(ctx)?;
+        let report = netlist::equiv::check_equivalence(&self.netlist, &replaced, equiv)?;
+        self.verifications.lock().expect("verification cache lock").insert(key, report.clone());
+        Ok(report)
     }
 }
 
@@ -360,6 +445,37 @@ mod tests {
         ctx.calibration.comb_activity *= 2.0;
         let err = pipeline.compare_all_in(&artifacts, &ctx).unwrap_err();
         assert!(matches!(err, DiacError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn verify_replacement_passes_and_caches() {
+        let pipeline = SynthesisPipeline::default();
+        let artifacts = pipeline.prepare(&circuit("s298")).unwrap();
+        let equiv = EquivConfig { rounds: 2, cycles_per_round: 4, ..EquivConfig::default() };
+        let first = artifacts.verify_replacement(pipeline.context(), &equiv).unwrap();
+        assert!(first.equivalent(), "{first}");
+        assert_eq!(first.vectors, equiv.vectors());
+        // Second call with the same coordinates hits the cache.
+        let again = artifacts.verify_replacement(pipeline.context(), &equiv).unwrap();
+        assert_eq!(first, again);
+        assert_eq!(artifacts.cached_verifications(), 1);
+        // A different seed is a different verification, but the replaced
+        // netlist is rebuilt only once per replacement coordinate.
+        let reseeded = EquivConfig { seed: equiv.seed + 1, ..equiv };
+        let other = artifacts.verify_replacement(pipeline.context(), &reseeded).unwrap();
+        assert!(other.equivalent());
+        assert_eq!(artifacts.cached_verifications(), 2);
+        assert_eq!(artifacts.cached_replaced_netlists(), 1);
+        // The replaced netlist itself is exposed (and cache-cloned).
+        let replaced = artifacts.replaced_netlist(pipeline.context()).unwrap();
+        assert!(crate::verify::nv_buffer_count(&replaced) > 0);
+        // Stale contexts are rejected like every other artifact use.
+        let mut stale = pipeline.context().clone();
+        stale.tree_config.gates_per_operand = 3;
+        assert!(matches!(
+            artifacts.verify_replacement(&stale, &equiv),
+            Err(DiacError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -244,7 +244,6 @@ impl OperandTree {
             });
         }
         let levels = levelize(netlist)?;
-        let fanouts = netlist.fanouts();
         let po_set: BTreeSet<GateId> = netlist.primary_outputs().iter().copied().collect();
 
         // 1. chunk the combinational gates of every level into operands.
@@ -281,7 +280,7 @@ impl OperandTree {
         // 2. connect operands following gate-level dependencies.
         let mut child_sets: Vec<BTreeSet<OperandId>> = vec![BTreeSet::new(); operands.len()];
         for (gate, &op) in &operand_of {
-            for &f in &netlist.gate(*gate).fanin {
+            for &f in netlist.fanin(*gate) {
                 if let Some(&src_op) = operand_of.get(&f) {
                     if src_op != op {
                         child_sets[op.index()].insert(src_op);
@@ -304,14 +303,14 @@ impl OperandTree {
             let mut gate_levels: BTreeSet<u32> = BTreeSet::new();
             for &g in &operand.gates {
                 gate_levels.insert(levels.level(g));
-                for &f in &netlist.gate(g).fanin {
+                for &f in netlist.fanin(g) {
                     if !member.contains(&f) {
                         external_inputs.insert(f);
                     }
                 }
-                let read_outside = fanouts[g.index()].iter().any(|r| !member.contains(r));
+                let read_outside = netlist.fanout(g).iter().any(|r| !member.contains(r));
                 let feeds_ff =
-                    fanouts[g.index()].iter().any(|&r| netlist.gate(r).kind.is_sequential());
+                    netlist.fanout(g).iter().any(|&r| netlist.gate(r).kind.is_sequential());
                 if read_outside || feeds_ff || po_set.contains(&g) {
                     external_outputs.insert(g);
                 }

@@ -1,0 +1,239 @@
+//! Functional-equivalence verification of DIAC-replaced designs.
+//!
+//! The replacement procedure ([`crate::replacement`]) annotates the operand
+//! tree with NVM boundaries; the *hardware* reading of such a boundary is an
+//! NV latch inserted on every signal leaving the boundary operand — a cell
+//! that is functionally transparent in the forward path while committing the
+//! value non-volatilely on the side.  Nothing in the structural/electrical
+//! accounting verifies that reading, so this module closes the loop:
+//!
+//! 1. [`replaced_netlist`] materialises the replaced design as a real
+//!    [`Netlist`]: for every gate of a boundary operand whose signal is read
+//!    outside the operand (by another operand, a flip-flop, or nothing —
+//!    primary outputs keep their original driver), an `{name}__nvb` buffer
+//!    gate is inserted and all external readers are rewired through it.
+//! 2. [`verify_replacement`] checks the rewritten design against the
+//!    original with seeded random vectors ([`netlist::equiv`]): identical
+//!    primary inputs/outputs and flip-flops by name, common-random-number
+//!    input streams, counterexample reported on any mismatch.
+//!
+//! The buffer stands in for the NV latch's combinational path; if the
+//! rewiring were wrong anywhere (a reader left on the raw signal that should
+//! see the latch, a fan-in crossed between operands, a lost connection), the
+//! random-vector check flips an output for a dense set of patterns and the
+//! report carries the exact failing assignment.
+
+use std::collections::HashMap;
+
+use netlist::equiv::{check_equivalence, EquivConfig, EquivReport};
+use netlist::{GateId, GateKind, Netlist, NetlistBuilder};
+
+use crate::error::DiacError;
+use crate::tree::{OperandId, OperandTree};
+
+/// Suffix of the inserted NV-boundary buffer gates.
+pub const NV_BUFFER_SUFFIX: &str = "__nvb";
+
+/// Materialises the DIAC-replaced design of `netlist` under `tree` (an
+/// operand tree annotated by [`crate::replacement::insert_nvm_boundaries`])
+/// as a plain netlist with explicit NV-boundary buffer gates.
+///
+/// The result exposes the same interface as the original — identical
+/// primary-input, primary-output and flip-flop names — which is what makes
+/// it checkable by [`netlist::equiv::check_equivalence`].
+///
+/// # Errors
+///
+/// Returns [`DiacError::InvalidTree`] if `tree` does not belong to `netlist`
+/// (a clustered gate id out of range) or if a `{name}__nvb` buffer name
+/// collides with an existing signal, and propagates builder failures.
+pub fn replaced_netlist(netlist: &Netlist, tree: &OperandTree) -> Result<Netlist, DiacError> {
+    // Which operand owns each combinational gate (live operands partition
+    // the combinational gates).
+    let mut operand_of: HashMap<GateId, OperandId> = HashMap::new();
+    let mut needs_buffer: Vec<bool> = vec![false; netlist.gate_count()];
+    for operand in tree.iter() {
+        for &g in &operand.gates {
+            if netlist.try_gate(g).is_none() {
+                return Err(DiacError::InvalidTree {
+                    message: format!(
+                        "operand {} of `{}` clusters gate {g} outside the netlist",
+                        operand.id,
+                        tree.name()
+                    ),
+                });
+            }
+            operand_of.insert(g, operand.id);
+        }
+    }
+    // A gate needs an NV buffer when its operand commits (nvm_boundary) and
+    // some reader sits outside the operand — another operand's gate or a
+    // flip-flop D input.  Primary outputs stay on the original driver: the
+    // root commit happens beside the output, not in series with it.
+    for operand in tree.iter() {
+        if !operand.dict.nvm_boundary {
+            continue;
+        }
+        for &g in &operand.gates {
+            let crosses =
+                netlist.fanout(g).iter().any(|reader| operand_of.get(reader) != Some(&operand.id));
+            if crosses {
+                needs_buffer[g.index()] = true;
+            }
+        }
+    }
+
+    let buffer_name = |name: &str| format!("{name}{NV_BUFFER_SUFFIX}");
+    for gate in netlist.iter() {
+        if needs_buffer[gate.id.index()] && netlist.find(&buffer_name(&gate.name)).is_some() {
+            return Err(DiacError::InvalidTree {
+                message: format!(
+                    "cannot insert NV buffer for `{}`: `{}` already exists",
+                    gate.name,
+                    buffer_name(&gate.name)
+                ),
+            });
+        }
+    }
+
+    let mut builder = NetlistBuilder::new(netlist.name());
+    for gate in netlist.iter() {
+        if gate.kind == GateKind::Input {
+            builder.add_input(&gate.name);
+            continue;
+        }
+        let reader_operand = operand_of.get(&gate.id).copied();
+        let fanin_names: Vec<String> = netlist
+            .fanin(gate.id)
+            .iter()
+            .map(|&f| {
+                let driver = netlist.gate(f);
+                // Read through the NV buffer exactly when the edge leaves
+                // the driver's operand.
+                if needs_buffer[f.index()] && operand_of.get(&f).copied() != reader_operand {
+                    buffer_name(&driver.name)
+                } else {
+                    driver.name.clone()
+                }
+            })
+            .collect();
+        builder.add_gate_by_names(&gate.name, gate.kind, fanin_names)?;
+    }
+    for gate in netlist.iter() {
+        if needs_buffer[gate.id.index()] {
+            builder.add_gate_by_names(
+                buffer_name(&gate.name),
+                GateKind::Buf,
+                vec![gate.name.clone()],
+            )?;
+        }
+    }
+    for &po in netlist.primary_outputs() {
+        builder.mark_output_name(netlist.gate(po).name.clone());
+    }
+    Ok(builder.finish()?)
+}
+
+/// Number of NV buffers [`replaced_netlist`] inserted into `replaced`.
+#[must_use]
+pub fn nv_buffer_count(replaced: &Netlist) -> usize {
+    replaced.iter().filter(|g| g.name.ends_with(NV_BUFFER_SUFFIX)).count()
+}
+
+/// Materialises the replaced design and checks it against the original with
+/// seeded random vectors.
+///
+/// # Errors
+///
+/// Propagates [`replaced_netlist`] failures and the interface/LUT errors of
+/// [`netlist::equiv::check_equivalence`].
+pub fn verify_replacement(
+    netlist: &Netlist,
+    tree: &OperandTree,
+    config: &EquivConfig,
+) -> Result<EquivReport, DiacError> {
+    let replaced = replaced_netlist(netlist, tree)?;
+    Ok(check_equivalence(netlist, &replaced, config)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::{insert_nvm_boundaries, ReplacementConfig};
+    use crate::tree::TreeGeneratorConfig;
+    use netlist::suite::BenchmarkSuite;
+    use tech45::cells::CellLibrary;
+
+    fn enhanced_tree(circuit: &str, budget: f64) -> (Netlist, OperandTree) {
+        let nl = BenchmarkSuite::diac_paper().materialize(circuit).unwrap();
+        let tree = OperandTree::from_netlist(
+            &nl,
+            &CellLibrary::nangate45_surrogate(),
+            &TreeGeneratorConfig::default(),
+        )
+        .unwrap();
+        let config = ReplacementConfig { budget_fraction: budget, ..ReplacementConfig::default() };
+        let tree = insert_nvm_boundaries(tree, &config).unwrap().into_tree();
+        (nl, tree)
+    }
+
+    #[test]
+    fn the_replaced_s27_is_equivalent_to_the_original() {
+        let (nl, tree) = enhanced_tree("s27", 0.15);
+        let replaced = replaced_netlist(&nl, &tree).unwrap();
+        assert!(nv_buffer_count(&replaced) > 0, "s27 must receive NV buffers");
+        assert!(replaced.gate_count() > nl.gate_count());
+        let report = verify_replacement(&nl, &tree, &EquivConfig::default()).unwrap();
+        assert!(report.equivalent(), "{report}");
+        assert_eq!(report.vectors, EquivConfig::default().vectors());
+    }
+
+    #[test]
+    fn tighter_budgets_insert_more_buffers_and_stay_equivalent() {
+        let (nl, loose) = enhanced_tree("s298", 0.5);
+        let (_, tight) = enhanced_tree("s298", 0.05);
+        let loose_nl = replaced_netlist(&nl, &loose).unwrap();
+        let tight_nl = replaced_netlist(&nl, &tight).unwrap();
+        assert!(nv_buffer_count(&tight_nl) >= nv_buffer_count(&loose_nl));
+        for tree in [&loose, &tight] {
+            let report = verify_replacement(&nl, tree, &EquivConfig::default()).unwrap();
+            assert!(report.equivalent(), "{report}");
+        }
+    }
+
+    #[test]
+    fn the_replaced_interface_matches_by_name() {
+        let (nl, tree) = enhanced_tree("s344", 0.15);
+        let replaced = replaced_netlist(&nl, &tree).unwrap();
+        let names = |ids: &[GateId], n: &Netlist| -> Vec<String> {
+            ids.iter().map(|&id| n.gate(id).name.clone()).collect()
+        };
+        assert_eq!(names(nl.primary_inputs(), &nl), names(replaced.primary_inputs(), &replaced));
+        assert_eq!(names(nl.primary_outputs(), &nl), names(replaced.primary_outputs(), &replaced));
+        assert_eq!(names(nl.flip_flops(), &nl), names(replaced.flip_flops(), &replaced));
+    }
+
+    #[test]
+    fn buffers_sit_between_operands_not_inside_them() {
+        let (nl, tree) = enhanced_tree("s298", 0.15);
+        let replaced = replaced_netlist(&nl, &tree).unwrap();
+        // Every inserted buffer is a BUF reading exactly the signal it is
+        // named after.
+        for gate in replaced.iter() {
+            if let Some(original) = gate.name.strip_suffix(NV_BUFFER_SUFFIX) {
+                assert_eq!(gate.kind, GateKind::Buf);
+                let fanin = replaced.fanin(gate.id);
+                assert_eq!(fanin.len(), 1);
+                assert_eq!(replaced.gate(fanin[0]).name, original);
+            }
+        }
+    }
+
+    #[test]
+    fn a_foreign_tree_is_rejected() {
+        let (nl, _) = enhanced_tree("s27", 0.15);
+        let (_, other_tree) = enhanced_tree("s298", 0.15);
+        let err = replaced_netlist(&nl, &other_tree).unwrap_err();
+        assert!(matches!(err, DiacError::InvalidTree { .. }));
+    }
+}

@@ -1,0 +1,346 @@
+//! 64-lane bit-parallel functional simulation.
+//!
+//! [`BitSim`] packs 64 independent input patterns into one `u64` per signal
+//! (lane *k* of every word belongs to pattern *k*) and evaluates the whole
+//! netlist with plain word-wide boolean operations: one pass over the
+//! combinational gates settles all 64 patterns at once.  The evaluation
+//! schedule is frozen at construction — the combinational gates in
+//! topological order, each carrying its [`crate::gate::FaninSpan`] into the
+//! netlist's flat CSR arena — so the hot loop touches only three contiguous
+//! arrays (schedule, fan-in arena, value words) and performs no hashing, no
+//! pointer chasing and no allocation.
+//!
+//! Lane semantics: [`lane`] extracts pattern *k* from a word; lane 0 of a
+//! [`BitSim`] run over inputs whose lane 0 equals a scalar input vector is
+//! bit-identical to [`crate::sim::Simulator`] on that vector (pinned by the
+//! `bitsim_props` property suite).
+//!
+//! LUT gates are rejected with the same [`NetlistError::UnsupportedGate`]
+//! reason as the scalar simulator: their covers carry no interpreted logic
+//! function in this data model.
+
+use crate::error::NetlistError;
+use crate::gate::{FaninSpan, GateId, GateKind};
+use crate::levelize::levelize;
+use crate::netlist::Netlist;
+
+/// Extracts one pattern lane from a packed simulation word.
+#[must_use]
+pub fn lane(word: u64, lane: u32) -> bool {
+    (word >> lane) & 1 == 1
+}
+
+/// Packs an iterator of lane values into one simulation word (lane 0 first;
+/// at most 64 values are consumed).
+#[must_use]
+pub fn pack_lanes(values: impl IntoIterator<Item = bool>) -> u64 {
+    values.into_iter().take(64).enumerate().fold(0_u64, |word, (k, v)| word | (u64::from(v) << k))
+}
+
+/// Result of evaluating one clock cycle over 64 packed patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitCycleResult {
+    /// Packed values of the primary outputs, in declaration order.
+    pub outputs: Vec<u64>,
+    /// Packed next state of the flip-flops, in declaration order.
+    pub next_state: Vec<u64>,
+}
+
+/// One frozen evaluation step: a combinational gate and its CSR span.
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    target: GateId,
+    kind: GateKind,
+    span: FaninSpan,
+}
+
+/// A 64-lane word-parallel simulator bound to one netlist.
+#[derive(Debug, Clone)]
+pub struct BitSim<'a> {
+    netlist: &'a Netlist,
+    steps: Vec<Step>,
+    words: Vec<u64>,
+    state: Vec<u64>,
+    /// Constant gates (sources, so outside the combinational schedule).
+    consts: Vec<(GateId, u64)>,
+}
+
+impl<'a> BitSim<'a> {
+    /// Creates a simulator with all flip-flop lanes initialised to zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the design cannot be
+    /// levelized and [`NetlistError::UnsupportedGate`] if it contains LUT
+    /// gates whose function is unknown (the same rejection — and reason —
+    /// as the scalar [`crate::sim::Simulator`]).
+    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
+        netlist.check_simulable()?;
+        let levels = levelize(netlist)?;
+        let steps = levels
+            .topological()
+            .iter()
+            .map(|&id| netlist.gate(id))
+            .filter(|g| g.kind.is_combinational())
+            .map(|g| Step { target: g.id, kind: g.kind, span: g.span })
+            .collect();
+        let consts = netlist.const_gates().map(|(id, v)| (id, if v { !0 } else { 0 })).collect();
+        Ok(Self {
+            netlist,
+            steps,
+            words: vec![0; netlist.gate_count()],
+            state: vec![0; netlist.flip_flop_count()],
+            consts,
+        })
+    }
+
+    /// The current packed flip-flop state, in declaration order.
+    #[must_use]
+    pub fn state(&self) -> &[u64] {
+        &self.state
+    }
+
+    /// Overrides the packed flip-flop state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not have one word per flip-flop.
+    pub fn set_state(&mut self, state: &[u64]) {
+        assert_eq!(state.len(), self.state.len(), "state vector must have one word per flip-flop");
+        self.state.copy_from_slice(state);
+    }
+
+    /// Packed value of one signal after the most recent evaluation.
+    #[must_use]
+    pub fn value(&self, id: GateId) -> u64 {
+        self.words[id.index()]
+    }
+
+    /// Evaluates one clock cycle over 64 packed patterns: `inputs` carries
+    /// one word per primary input in declaration order (the same dense slots
+    /// as [`crate::sim::Simulator::evaluate_dense`]).  The internal state is
+    /// *not* advanced — call [`Self::step`] for that.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UndefinedSignal`] if `inputs` is shorter than
+    /// the primary-input count (extra entries are ignored).
+    pub fn evaluate(&mut self, inputs: &[u64]) -> Result<BitCycleResult, NetlistError> {
+        let pis = self.netlist.primary_inputs();
+        if inputs.len() < pis.len() {
+            return Err(NetlistError::UndefinedSignal {
+                name: self.netlist.gate(pis[inputs.len()]).name.clone(),
+                referenced_by: "bit-parallel input vector".to_string(),
+            });
+        }
+        for (&pi, &word) in pis.iter().zip(inputs) {
+            self.words[pi.index()] = word;
+        }
+        for (slot, &ff) in self.netlist.flip_flops().iter().enumerate() {
+            self.words[ff.index()] = self.state[slot];
+        }
+        for &(id, word) in &self.consts {
+            self.words[id.index()] = word;
+        }
+        let arena = self.netlist.fanin_arena();
+        for step in &self.steps {
+            let fanin = &arena[step.span.range()];
+            let word = eval_word(step.kind, fanin, &self.words);
+            self.words[step.target.index()] = word;
+        }
+        let outputs =
+            self.netlist.primary_outputs().iter().map(|&po| self.words[po.index()]).collect();
+        let next_state = self
+            .netlist
+            .flip_flops()
+            .iter()
+            .map(|&ff| {
+                let d = self.netlist.fanin(ff).first().copied();
+                d.map(|id| self.words[id.index()]).unwrap_or(0)
+            })
+            .collect();
+        Ok(BitCycleResult { outputs, next_state })
+    }
+
+    /// Evaluates one cycle and advances the packed flip-flop state.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::evaluate`].
+    pub fn step(&mut self, inputs: &[u64]) -> Result<BitCycleResult, NetlistError> {
+        let result = self.evaluate(inputs)?;
+        self.state.copy_from_slice(&result.next_state);
+        Ok(result)
+    }
+}
+
+/// Evaluates one gate function word-wide over its fan-in slice.
+fn eval_word(kind: GateKind, fanin: &[GateId], words: &[u64]) -> u64 {
+    let val = |i: usize| fanin.get(i).map(|f| words[f.index()]).unwrap_or(0);
+    match kind {
+        GateKind::Const0 => 0,
+        GateKind::Const1 => !0,
+        GateKind::Buf => val(0),
+        GateKind::Not => !val(0),
+        GateKind::And => fanin.iter().fold(!0_u64, |acc, f| acc & words[f.index()]),
+        GateKind::Nand => !fanin.iter().fold(!0_u64, |acc, f| acc & words[f.index()]),
+        GateKind::Or => fanin.iter().fold(0_u64, |acc, f| acc | words[f.index()]),
+        GateKind::Nor => !fanin.iter().fold(0_u64, |acc, f| acc | words[f.index()]),
+        GateKind::Xor => fanin.iter().fold(0_u64, |acc, f| acc ^ words[f.index()]),
+        GateKind::Xnor => !fanin.iter().fold(0_u64, |acc, f| acc ^ words[f.index()]),
+        // MUX fan-in order: (select, a, b) — select chooses `b` when high.
+        GateKind::Mux => {
+            let select = val(0);
+            (select & val(2)) | (!select & val(1))
+        }
+        // Sources and LUTs are never evaluated here.
+        GateKind::Input | GateKind::Dff | GateKind::Lut => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+    use crate::parser::parse_bench;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn lane_helpers_round_trip() {
+        let word = pack_lanes([true, false, true, true]);
+        assert_eq!(word, 0b1101);
+        assert!(lane(word, 0) && !lane(word, 1) && lane(word, 2) && lane(word, 3));
+        assert!(!lane(word, 63));
+        // More than 64 values: the excess is ignored.
+        assert_eq!(pack_lanes(std::iter::repeat_n(true, 100)), !0_u64);
+    }
+
+    #[test]
+    fn truth_tables_hold_in_every_lane() {
+        let mut b = NetlistBuilder::new("truth");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        for (name, kind) in [
+            ("and", GateKind::And),
+            ("nand", GateKind::Nand),
+            ("or", GateKind::Or),
+            ("nor", GateKind::Nor),
+            ("xor", GateKind::Xor),
+            ("xnor", GateKind::Xnor),
+        ] {
+            let g = b.add_gate(name, kind, vec![a, c]).unwrap();
+            b.mark_output(g);
+        }
+        let nl = b.finish().unwrap();
+        let mut sim = BitSim::new(&nl).unwrap();
+        // The four input combinations in lanes 0..4.
+        let wa = 0b1100_u64;
+        let wb = 0b1010_u64;
+        let r = sim.evaluate(&[wa, wb]).unwrap();
+        assert_eq!(r.outputs[0] & 0xF, 0b1000, "AND");
+        assert_eq!(r.outputs[1] & 0xF, 0b0111, "NAND");
+        assert_eq!(r.outputs[2] & 0xF, 0b1110, "OR");
+        assert_eq!(r.outputs[3] & 0xF, 0b0001, "NOR");
+        assert_eq!(r.outputs[4] & 0xF, 0b0110, "XOR");
+        assert_eq!(r.outputs[5] & 0xF, 0b1001, "XNOR");
+    }
+
+    #[test]
+    fn mux_and_constants_are_word_wide() {
+        let mut b = NetlistBuilder::new("mux");
+        let s = b.add_input("s");
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let m = b.add_gate("m", GateKind::Mux, vec![s, x, y]).unwrap();
+        let one = b.add_gate("one", GateKind::Const1, vec![]).unwrap();
+        b.mark_output(m);
+        b.mark_output(one);
+        let nl = b.finish().unwrap();
+        let mut sim = BitSim::new(&nl).unwrap();
+        let r = sim.evaluate(&[0b01, 0b11, 0b00]).unwrap();
+        // lane 0: s=1 selects y=0; lane 1: s=0 selects x=1.
+        assert!(!lane(r.outputs[0], 0));
+        assert!(lane(r.outputs[0], 1));
+        assert_eq!(r.outputs[1], !0_u64);
+    }
+
+    #[test]
+    fn all_64_lanes_match_the_scalar_simulator_on_s27() {
+        let nl = parse_bench("s27", crate::embedded::S27_BENCH).unwrap();
+        let mut bit = BitSim::new(&nl).unwrap();
+        // 64 distinct patterns: lane k carries the bits of k.
+        let inputs: Vec<u64> =
+            (0..4).map(|bit| pack_lanes((0..64).map(|k| k & (1 << bit) != 0))).collect();
+        for _ in 0..3 {
+            bit.step(&inputs).unwrap();
+        }
+        for k in 0..64_u32 {
+            let mut scalar = Simulator::new(&nl).unwrap();
+            let vector: Vec<bool> = (0..4).map(|bit| k & (1 << bit) != 0).collect();
+            let mut last = None;
+            for _ in 0..3 {
+                last = Some(scalar.step_dense(&vector).unwrap());
+            }
+            let last = last.unwrap();
+            for (po, &want) in nl.primary_outputs().iter().zip(&last.outputs) {
+                assert_eq!(lane(bit.value(*po), k), want, "lane {k} output {po}");
+            }
+            for (slot, &want) in last.next_state.iter().enumerate() {
+                assert_eq!(lane(bit.state()[slot], k), want, "lane {k} state {slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_input_vectors_name_the_missing_input() {
+        let nl = parse_bench("s27", crate::embedded::S27_BENCH).unwrap();
+        let mut sim = BitSim::new(&nl).unwrap();
+        let err = sim.evaluate(&[0]).unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::UndefinedSignal { ref referenced_by, .. }
+                if referenced_by == "bit-parallel input vector"
+        ));
+    }
+
+    #[test]
+    fn lut_gates_are_rejected_with_the_scalar_simulators_reason() {
+        let blif = ".model lut\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n";
+        let lut_nl = crate::parser::parse_blif("lut", blif).unwrap();
+        let bit_err = BitSim::new(&lut_nl).unwrap_err();
+        let scalar_err = Simulator::new(&lut_nl).unwrap_err();
+        assert_eq!(bit_err, scalar_err, "BitSim and Simulator must agree on the LUT rejection");
+        assert!(matches!(
+            bit_err,
+            NetlistError::UnsupportedGate { ref reason, .. }
+                if reason == "LUT covers carry no interpreted logic function"
+        ));
+    }
+
+    #[test]
+    fn state_width_is_checked() {
+        let nl = parse_bench("s27", crate::embedded::S27_BENCH).unwrap();
+        let mut sim = BitSim::new(&nl).unwrap();
+        sim.set_state(&[1, 2, 3]);
+        assert_eq!(sim.state(), &[1, 2, 3]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.set_state(&[1]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn toggle_flip_flop_toggles_every_lane() {
+        let mut b = NetlistBuilder::new("toggle");
+        b.add_gate_by_names("q", GateKind::Dff, vec!["n".into()]).unwrap();
+        b.add_gate_by_names("n", GateKind::Not, vec!["q".into()]).unwrap();
+        b.mark_output_name("q");
+        let nl = b.finish().unwrap();
+        let mut sim = BitSim::new(&nl).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            seen.push(sim.step(&[]).unwrap().outputs[0]);
+        }
+        assert_eq!(seen, vec![0, !0_u64, 0, !0_u64]);
+    }
+}

@@ -22,13 +22,10 @@ pub fn fanin_cone(netlist: &Netlist, root: GateId) -> Vec<GateId> {
             continue;
         }
         let gate = netlist.gate(id);
-        if gate.kind.is_source() && id != root {
-            continue;
-        }
         if gate.kind.is_source() {
             continue;
         }
-        for &f in &gate.fanin {
+        for &f in netlist.fanin(id) {
             if !netlist.gate(f).kind.is_source() {
                 stack.push(f);
             } else {
@@ -46,14 +43,13 @@ pub fn fanin_cone(netlist: &Netlist, root: GateId) -> Vec<GateId> {
 /// included.
 #[must_use]
 pub fn fanout_cone(netlist: &Netlist, root: GateId) -> Vec<GateId> {
-    let fanouts = netlist.fanouts();
     let mut seen: HashSet<GateId> = HashSet::new();
     let mut stack = vec![root];
     while let Some(id) = stack.pop() {
         if !seen.insert(id) {
             continue;
         }
-        for &reader in &fanouts[id.index()] {
+        for &reader in netlist.fanout(id) {
             if netlist.gate(reader).kind == GateKind::Dff {
                 seen.insert(reader);
                 continue;
@@ -72,8 +68,11 @@ pub fn fanout_cone(netlist: &Netlist, root: GateId) -> Vec<GateId> {
 pub fn register_cone(netlist: &Netlist, state_element: GateId) -> Vec<GateId> {
     let gate = netlist.gate(state_element);
     let mut result: HashSet<GateId> = HashSet::new();
-    let roots: Vec<GateId> =
-        if gate.kind == GateKind::Dff { gate.fanin.clone() } else { vec![state_element] };
+    let roots: Vec<GateId> = if gate.kind == GateKind::Dff {
+        netlist.fanin(state_element).to_vec()
+    } else {
+        vec![state_element]
+    };
     for root in roots {
         for id in fanin_cone(netlist, root) {
             if netlist.gate(id).kind.is_combinational() {

@@ -225,8 +225,31 @@ impl fmt::Display for GateKind {
     }
 }
 
+/// Span of one gate's fan-in list inside the netlist's shared CSR arena:
+/// the fan-ins of a gate are the `len` consecutive entries starting at
+/// `offset` (see `Netlist::fanin`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaninSpan {
+    /// First entry of the span in the fan-in arena.
+    pub offset: u32,
+    /// Number of fan-in connections.
+    pub len: u32,
+}
+
+impl FaninSpan {
+    /// The span as an arena index range.
+    #[must_use]
+    pub fn range(self) -> std::ops::Range<usize> {
+        let start = self.offset as usize;
+        start..start + self.len as usize
+    }
+}
+
 /// One gate of a netlist: the signal it drives, its logic function, and the
-/// signals it reads.
+/// span of the signals it reads inside the netlist's flat CSR fan-in arena.
+///
+/// The fan-in ids themselves live in the owning [`crate::Netlist`]; resolve
+/// them with [`crate::Netlist::fanin`], which returns a contiguous slice.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Gate {
     /// Identifier (also identifies the net this gate drives).
@@ -235,34 +258,27 @@ pub struct Gate {
     pub name: String,
     /// Logic function.
     pub kind: GateKind,
-    /// Driving gates of each fan-in, in input order.
-    pub fanin: Vec<GateId>,
+    /// Location of this gate's fan-ins in the shared arena.
+    pub span: FaninSpan,
 }
 
 impl Gate {
     /// Number of fan-in connections.
     #[must_use]
     pub fn fanin_count(&self) -> usize {
-        self.fanin.len()
+        self.span.len as usize
     }
 
     /// Library cells this gate maps to.
     #[must_use]
     pub fn cells(&self) -> Vec<CellKind> {
-        self.kind.decompose(self.fanin.len())
+        self.kind.decompose(self.fanin_count())
     }
 }
 
 impl fmt::Display for Gate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} = {}(", self.name, self.kind)?;
-        for (i, id) in self.fanin.iter().enumerate() {
-            if i > 0 {
-                write!(f, ", ")?;
-            }
-            write!(f, "{id}")?;
-        }
-        write!(f, ")")
+        write!(f, "{} = {}/{}", self.name, self.kind, self.span.len)
     }
 }
 
@@ -328,16 +344,17 @@ mod tests {
     }
 
     #[test]
-    fn gate_display_is_bench_like() {
+    fn gate_display_names_the_function_and_arity() {
         let g = Gate {
             id: GateId(5),
             name: "G9".to_string(),
             kind: GateKind::Nand,
-            fanin: vec![GateId(1), GateId(2)],
+            span: FaninSpan { offset: 10, len: 2 },
         };
-        assert_eq!(g.to_string(), "G9 = NAND(n1, n2)");
+        assert_eq!(g.to_string(), "G9 = NAND/2");
         assert_eq!(g.fanin_count(), 2);
         assert_eq!(g.cells(), vec![CellKind::Nand2]);
+        assert_eq!(g.span.range(), 10..12);
     }
 
     #[test]

@@ -75,8 +75,8 @@ pub fn levelize(netlist: &Netlist) -> Result<Levels, NetlistError> {
             remaining_fanin[gate.id.index()] = 0;
             queue.push_back(gate.id);
         } else {
-            remaining_fanin[gate.id.index()] = gate.fanin.len();
-            if gate.fanin.is_empty() {
+            remaining_fanin[gate.id.index()] = gate.fanin_count();
+            if gate.fanin_count() == 0 {
                 // Combinational gate without fan-ins (shouldn't happen after
                 // validation, but keep the traversal total).
                 queue.push_back(gate.id);
@@ -84,12 +84,11 @@ pub fn levelize(netlist: &Netlist) -> Result<Levels, NetlistError> {
         }
     }
 
-    let fanouts = netlist.fanouts();
     let mut visited = 0_usize;
     while let Some(id) = queue.pop_front() {
         visited += 1;
         topological.push(id);
-        for &reader in &fanouts[id.index()] {
+        for &reader in netlist.fanout(id) {
             let reader_gate = netlist.gate(reader);
             // The D-input of a flip-flop does not propagate combinational depth.
             if reader_gate.kind == GateKind::Dff {
@@ -180,7 +179,7 @@ mod tests {
             if gate.kind == GateKind::Dff || gate.kind.is_source() {
                 continue;
             }
-            for &f in &gate.fanin {
+            for &f in nl.fanin(gate.id) {
                 assert!(position[&f] < position[&gate.id], "{} before {}", f, gate.id);
             }
         }
@@ -194,7 +193,7 @@ mod tests {
             if !gate.kind.is_combinational() {
                 continue;
             }
-            let max_in = gate.fanin.iter().map(|&f| levels.level(f)).max().unwrap_or(0);
+            let max_in = nl.fanin(gate.id).iter().map(|&f| levels.level(f)).max().unwrap_or(0);
             assert_eq!(levels.level(gate.id), max_in + 1, "gate {}", gate.name);
         }
     }

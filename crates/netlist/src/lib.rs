@@ -9,6 +9,12 @@
 //! * [`parser`] — front-ends for the ISCAS-89 `.bench` format and a BLIF
 //!   subset, which is how the original benchmark suites are distributed.
 //! * [`levelize`] — combinational levelization and cycle detection.
+//! * [`sim`] — scalar two-valued simulation (dense input slots resolved at
+//!   construction).
+//! * [`bitsim`] — 64-lane bit-parallel simulation: one `u64` per signal
+//!   evaluates 64 input patterns per pass over the CSR slices.
+//! * [`equiv`] — seeded random-vector functional equivalence checking
+//!   (used to verify DIAC-replaced designs against their originals).
 //! * [`cone`] — transitive fan-in / fan-out cone extraction.
 //! * [`stats`] — per-netlist summary statistics (gate histogram, depth,
 //!   average fan-in/out) that feed DIAC's feature dictionaries.
@@ -34,8 +40,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitsim;
 pub mod cone;
 pub mod embedded;
+pub mod equiv;
 mod error;
 pub mod gate;
 pub mod levelize;
@@ -48,8 +56,10 @@ pub mod suite;
 pub mod synth;
 pub mod verilog;
 
+pub use bitsim::{BitCycleResult, BitSim};
+pub use equiv::{check_equivalence, Counterexample, EquivConfig, EquivReport};
 pub use error::NetlistError;
-pub use gate::{Gate, GateId, GateKind};
+pub use gate::{FaninSpan, Gate, GateId, GateKind};
 pub use netlist::{Netlist, NetlistBuilder};
 pub use stats::NetlistStats;
 pub use suite::{BenchmarkSuite, CircuitSpec, SuiteKind};

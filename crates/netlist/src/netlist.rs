@@ -1,10 +1,22 @@
 //! The in-memory netlist data model.
+//!
+//! # Flat CSR connectivity
+//!
+//! Fan-ins are stored compressed-sparse-row style: one shared `Vec<GateId>`
+//! arena holds every fan-in list back to back, and each [`Gate`] carries a
+//! `(offset, len)` span ([`crate::gate::FaninSpan`]) into it.  The reverse
+//! direction (fan-outs) is a second CSR — a prefix-offset table plus one
+//! arena — built once in [`NetlistBuilder::finish`] and cached, because a
+//! finished netlist is immutable.  Every consumer (`levelize`, `sim`,
+//! `bitsim`, `cone`, `stats`, the operand-tree clustering) reads contiguous
+//! slices via [`Netlist::fanin`] / [`Netlist::fanout`] instead of chasing
+//! per-gate `Vec`s or hashing names.
 
 use std::collections::HashMap;
 use std::fmt;
 
 use crate::error::NetlistError;
-use crate::gate::{Gate, GateId, GateKind};
+use crate::gate::{FaninSpan, Gate, GateId, GateKind};
 
 /// A gate-level design in "driver form": every signal is identified by the
 /// gate that drives it, primary inputs and flip-flops included.
@@ -30,6 +42,12 @@ use crate::gate::{Gate, GateId, GateKind};
 pub struct Netlist {
     name: String,
     gates: Vec<Gate>,
+    /// Shared fan-in arena; each gate's span indexes into it.
+    fanin_arena: Vec<GateId>,
+    /// Fan-out CSR: `fanout_offsets[i]..fanout_offsets[i + 1]` bounds the
+    /// readers of gate `i` inside `fanout_arena`.
+    fanout_offsets: Vec<u32>,
+    fanout_arena: Vec<GateId>,
     primary_inputs: Vec<GateId>,
     primary_outputs: Vec<GateId>,
     flip_flops: Vec<GateId>,
@@ -112,25 +130,44 @@ impl Netlist {
         &self.flip_flops
     }
 
-    /// Computes the fan-out adjacency: for every gate, which gates read it.
+    /// The fan-ins of one gate as a contiguous slice of the shared arena.
     ///
-    /// The result is indexed by [`GateId::index`].
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
     #[must_use]
-    pub fn fanouts(&self) -> Vec<Vec<GateId>> {
-        let mut out = vec![Vec::new(); self.gates.len()];
-        for gate in &self.gates {
-            for &src in &gate.fanin {
-                out[src.index()].push(gate.id);
-            }
-        }
-        out
+    pub fn fanin(&self, id: GateId) -> &[GateId] {
+        &self.fanin_arena[self.gates[id.index()].span.range()]
+    }
+
+    /// The whole flat fan-in arena; [`crate::gate::FaninSpan`] ranges stored
+    /// on each gate index into this slice.  Hot loops that already hold a
+    /// gate's span can slice the arena directly instead of re-fetching the
+    /// gate (see `bitsim`).
+    #[must_use]
+    pub fn fanin_arena(&self) -> &[GateId] {
+        &self.fanin_arena
+    }
+
+    /// The readers of one gate (cached fan-out CSR, one slice per gate).
+    /// A reader appears once per connection, so a gate wired to two inputs
+    /// of the same reader is listed twice — mirroring the fan-in side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    #[must_use]
+    pub fn fanout(&self, id: GateId) -> &[GateId] {
+        let i = id.index();
+        &self.fanout_arena[self.fanout_offsets[i] as usize..self.fanout_offsets[i + 1] as usize]
     }
 
     /// Fan-out count per gate (how many gates read each signal), with primary
     /// outputs counting as one extra reader.
     #[must_use]
     pub fn fanout_counts(&self) -> Vec<usize> {
-        let mut counts: Vec<usize> = self.fanouts().iter().map(Vec::len).collect();
+        let mut counts: Vec<usize> =
+            self.fanout_offsets.windows(2).map(|w| (w[1] - w[0]) as usize).collect();
         for &po in &self.primary_outputs {
             counts[po.index()] += 1;
         }
@@ -159,10 +196,46 @@ impl Netlist {
                 continue;
             }
             let args: Vec<&str> =
-                gate.fanin.iter().map(|&id| self.gate(id).name.as_str()).collect();
+                self.fanin(gate.id).iter().map(|&id| self.gate(id).name.as_str()).collect();
             s.push_str(&format!("{} = {}({})\n", gate.name, gate.kind, args.join(", ")));
         }
         s
+    }
+
+    /// Rejects designs the simulators cannot interpret: LUT covers carry no
+    /// logic function in this data model.  Shared by the scalar and the
+    /// bit-parallel simulator so both report the identical reason.
+    pub(crate) fn check_simulable(&self) -> Result<(), NetlistError> {
+        match self.gates.iter().find(|g| g.kind == GateKind::Lut) {
+            Some(lut) => Err(NetlistError::UnsupportedGate {
+                gate: lut.name.clone(),
+                reason: "LUT covers carry no interpreted logic function".to_string(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Constant gates with their driven values.  Constants are sources
+    /// (outside the combinational schedule), so the simulators seed them
+    /// explicitly each cycle.
+    pub(crate) fn const_gates(&self) -> impl Iterator<Item = (GateId, bool)> + '_ {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g.kind, GateKind::Const0 | GateKind::Const1))
+            .map(|g| (g.id, g.kind == GateKind::Const1))
+    }
+
+    /// Bench-style rendering of one gate with resolved fan-in names
+    /// (`G9 = NAND(G1, G2)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    #[must_use]
+    pub fn format_gate(&self, id: GateId) -> String {
+        let gate = self.gate(id);
+        let args: Vec<&str> = self.fanin(id).iter().map(|&f| self.gate(f).name.as_str()).collect();
+        format!("{} = {}({})", gate.name, gate.kind, args.join(", "))
     }
 }
 
@@ -314,30 +387,52 @@ impl NetlistBuilder {
         if self.gates.is_empty() {
             return Err(NetlistError::EmptyNetlist);
         }
-        let mut gates = Vec::with_capacity(self.gates.len());
+        let n = self.gates.len();
+        let total_fanins: usize = self.gates.iter().map(|g| g.fanin_names.len()).sum();
+        let mut gates = Vec::with_capacity(n);
+        let mut fanin_arena: Vec<GateId> = Vec::with_capacity(total_fanins);
         let mut primary_inputs = Vec::new();
         let mut flip_flops = Vec::new();
         for (index, pending) in self.gates.iter().enumerate() {
             let id = GateId(index as u32);
-            let fanin = pending
-                .fanin_names
-                .iter()
-                .map(|n| {
-                    self.by_name.get(n).map(|&i| GateId(i as u32)).ok_or_else(|| {
-                        NetlistError::UndefinedSignal {
-                            name: n.clone(),
-                            referenced_by: pending.name.clone(),
-                        }
-                    })
-                })
-                .collect::<Result<Vec<_>, _>>()?;
+            let offset = fanin_arena.len() as u32;
+            for name in &pending.fanin_names {
+                let fanin = self.by_name.get(name).map(|&i| GateId(i as u32)).ok_or_else(|| {
+                    NetlistError::UndefinedSignal {
+                        name: name.clone(),
+                        referenced_by: pending.name.clone(),
+                    }
+                })?;
+                fanin_arena.push(fanin);
+            }
             match pending.kind {
                 GateKind::Input => primary_inputs.push(id),
                 GateKind::Dff => flip_flops.push(id),
                 _ => {}
             }
-            gates.push(Gate { id, name: pending.name.clone(), kind: pending.kind, fanin });
+            let span = FaninSpan { offset, len: pending.fanin_names.len() as u32 };
+            gates.push(Gate { id, name: pending.name.clone(), kind: pending.kind, span });
         }
+
+        // Reverse CSR: classic two-pass counting sort over the fan-in edges,
+        // so `fanout(id)` lists readers in (reader id, input position) order.
+        let mut fanout_offsets = vec![0_u32; n + 1];
+        for &src in &fanin_arena {
+            fanout_offsets[src.index() + 1] += 1;
+        }
+        for i in 0..n {
+            fanout_offsets[i + 1] += fanout_offsets[i];
+        }
+        let mut fanout_arena = vec![GateId(0); fanin_arena.len()];
+        let mut cursor: Vec<u32> = fanout_offsets[..n].to_vec();
+        for gate in &gates {
+            for &src in &fanin_arena[gate.span.range()] {
+                let slot = &mut cursor[src.index()];
+                fanout_arena[*slot as usize] = gate.id;
+                *slot += 1;
+            }
+        }
+
         let mut primary_outputs = Vec::with_capacity(self.outputs.len());
         for name in &self.outputs {
             let id = self.by_name.get(name).map(|&i| GateId(i as u32)).ok_or_else(|| {
@@ -350,7 +445,17 @@ impl NetlistBuilder {
         }
         let by_name =
             self.by_name.into_iter().map(|(name, index)| (name, GateId(index as u32))).collect();
-        Ok(Netlist { name: self.name, gates, primary_inputs, primary_outputs, flip_flops, by_name })
+        Ok(Netlist {
+            name: self.name,
+            gates,
+            fanin_arena,
+            fanout_offsets,
+            fanout_arena,
+            primary_inputs,
+            primary_outputs,
+            flip_flops,
+            by_name,
+        })
     }
 }
 
@@ -396,13 +501,47 @@ mod tests {
     fn fanouts_are_reverse_of_fanins() {
         let nl = toy();
         let a = nl.find("a").unwrap();
-        let fanouts = nl.fanouts();
         // `a` feeds g1 and g3.
-        assert_eq!(fanouts[a.index()].len(), 2);
+        assert_eq!(nl.fanout(a).len(), 2);
         let counts = nl.fanout_counts();
         let g3 = nl.find("g3").unwrap();
         // g3 is only read by the primary output marker.
         assert_eq!(counts[g3.index()], 1);
+    }
+
+    #[test]
+    fn csr_slices_mirror_the_connection_lists() {
+        let nl = toy();
+        // Every fan-out edge is the reverse of exactly one fan-in edge.
+        let mut fanin_edges: Vec<(GateId, GateId)> = Vec::new();
+        let mut fanout_edges: Vec<(GateId, GateId)> = Vec::new();
+        for id in nl.ids() {
+            for &f in nl.fanin(id) {
+                fanin_edges.push((f, id));
+            }
+            for &r in nl.fanout(id) {
+                fanout_edges.push((id, r));
+            }
+        }
+        fanin_edges.sort_unstable();
+        fanout_edges.sort_unstable();
+        assert_eq!(fanin_edges, fanout_edges);
+        // Spans report the same arity the slices have.
+        for gate in nl.iter() {
+            assert_eq!(gate.fanin_count(), nl.fanin(gate.id).len());
+        }
+    }
+
+    #[test]
+    fn duplicate_connections_are_listed_per_edge() {
+        let mut b = NetlistBuilder::new("dup_edge");
+        let a = b.add_input("a");
+        let g = b.add_gate("g", GateKind::And, vec![a, a]).unwrap();
+        b.mark_output(g);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.fanin(g), &[a, a]);
+        assert_eq!(nl.fanout(a), &[g, g]);
+        assert_eq!(nl.format_gate(g), "g = AND(a, a)");
     }
 
     #[test]
@@ -454,7 +593,7 @@ mod tests {
         let nl = b.finish().unwrap();
         let g = nl.find("g").unwrap();
         let later = nl.find("later").unwrap();
-        assert_eq!(nl.gate(g).fanin, vec![later]);
+        assert_eq!(nl.fanin(g), &[later]);
     }
 
     #[test]

@@ -27,12 +27,24 @@ pub struct CycleResult {
 }
 
 /// A functional simulator bound to one netlist.
+///
+/// Primary inputs are addressed by *dense slot* (their position in
+/// [`Netlist::primary_inputs`] declaration order), so the per-cycle hot path
+/// ([`Simulator::evaluate_dense`] / [`Simulator::step_dense`]) performs no
+/// hashing at all.  The original `HashMap`-keyed [`Simulator::evaluate`] /
+/// [`Simulator::step`] survive as thin shims that fill a reusable dense
+/// buffer (one lookup into the *caller's* map per input — inherent to the
+/// map-shaped argument).
 #[derive(Debug, Clone)]
 pub struct Simulator<'a> {
     netlist: &'a Netlist,
     levels: Levels,
     values: Vec<bool>,
     state: Vec<bool>,
+    /// Reusable dense input buffer backing the `HashMap` shim.
+    input_buf: Vec<bool>,
+    /// Constant gates (sources, so outside the combinational schedule).
+    consts: Vec<(GateId, bool)>,
 }
 
 impl<'a> Simulator<'a> {
@@ -44,19 +56,25 @@ impl<'a> Simulator<'a> {
     /// levelized and [`NetlistError::UnsupportedGate`] if it contains LUT
     /// gates whose function is unknown.
     pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
-        if let Some(lut) = netlist.iter().find(|g| g.kind == GateKind::Lut) {
-            return Err(NetlistError::UnsupportedGate {
-                gate: lut.name.clone(),
-                reason: "LUT covers carry no interpreted logic function".to_string(),
-            });
-        }
+        netlist.check_simulable()?;
         let levels = levelize(netlist)?;
+        let consts = netlist.const_gates().collect();
         Ok(Self {
             netlist,
             levels,
             values: vec![false; netlist.gate_count()],
             state: vec![false; netlist.flip_flop_count()],
+            input_buf: vec![false; netlist.primary_inputs().len()],
+            consts,
         })
+    }
+
+    /// The dense input slot of a primary input, by name (an accessor for
+    /// callers building dense vectors — not on any per-cycle path).
+    #[must_use]
+    pub fn input_slot(&self, name: &str) -> Option<usize> {
+        let id = self.netlist.find(name)?;
+        self.netlist.primary_inputs().iter().position(|&pi| pi == id)
     }
 
     /// The current flip-flop state, in declaration order.
@@ -87,39 +105,44 @@ impl<'a> Simulator<'a> {
         self.netlist.find(name).map(|id| self.value(id))
     }
 
-    /// Evaluates one clock cycle: combinational settle with the given primary
-    /// inputs and the current flip-flop state, then computes the next state.
-    /// The internal state is *not* advanced — call [`Self::step`] for that.
+    /// Evaluates one clock cycle from a dense input vector (one entry per
+    /// primary input, in declaration order): combinational settle with the
+    /// given inputs and the current flip-flop state, then computes the next
+    /// state.  The internal state is *not* advanced — call
+    /// [`Self::step_dense`] for that.
+    ///
+    /// This is the allocation- and hash-free hot path; signal values are read
+    /// straight off the netlist's CSR fan-in slices.
     ///
     /// # Errors
     ///
-    /// Returns [`NetlistError::UndefinedSignal`] if `inputs` misses a primary
-    /// input.
-    pub fn evaluate(
-        &mut self,
-        inputs: &HashMap<String, bool>,
-    ) -> Result<CycleResult, NetlistError> {
-        // Sources first.
-        for &pi in self.netlist.primary_inputs() {
-            let gate = self.netlist.gate(pi);
-            let value =
-                inputs.get(&gate.name).copied().ok_or_else(|| NetlistError::UndefinedSignal {
-                    name: gate.name.clone(),
-                    referenced_by: "simulation input vector".to_string(),
-                })?;
+    /// Returns [`NetlistError::UndefinedSignal`] if `inputs` is shorter than
+    /// the primary-input count (extra entries are ignored).
+    pub fn evaluate_dense(&mut self, inputs: &[bool]) -> Result<CycleResult, NetlistError> {
+        let pis = self.netlist.primary_inputs();
+        if inputs.len() < pis.len() {
+            return Err(NetlistError::UndefinedSignal {
+                name: self.netlist.gate(pis[inputs.len()]).name.clone(),
+                referenced_by: "simulation input vector".to_string(),
+            });
+        }
+        for (&pi, &value) in pis.iter().zip(inputs) {
             self.values[pi.index()] = value;
         }
         for (slot, &ff) in self.netlist.flip_flops().iter().enumerate() {
             self.values[ff.index()] = self.state[slot];
         }
-        // Combinational gates in topological order.
+        for &(id, value) in &self.consts {
+            self.values[id.index()] = value;
+        }
+        // Combinational gates in topological order, over CSR slices.
         for &id in self.levels.topological() {
-            let gate = self.netlist.gate(id);
-            if !gate.kind.is_combinational() {
+            let kind = self.netlist.gate(id).kind;
+            if !kind.is_combinational() {
                 continue;
             }
-            let inputs: Vec<bool> = gate.fanin.iter().map(|&f| self.values[f.index()]).collect();
-            self.values[id.index()] = eval_gate(gate.kind, &inputs);
+            let value = eval_gate(kind, self.netlist.fanin(id), &self.values);
+            self.values[id.index()] = value;
         }
         // Outputs and next state.
         let outputs =
@@ -129,14 +152,45 @@ impl<'a> Simulator<'a> {
             .flip_flops()
             .iter()
             .map(|&ff| {
-                let d = self.netlist.gate(ff).fanin.first().copied();
+                let d = self.netlist.fanin(ff).first().copied();
                 d.map(|id| self.values[id.index()]).unwrap_or(false)
             })
             .collect();
         Ok(CycleResult { outputs, next_state })
     }
 
-    /// Evaluates one cycle and advances the flip-flop state.
+    /// Evaluates one dense-input cycle and advances the flip-flop state.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::evaluate_dense`].
+    pub fn step_dense(&mut self, inputs: &[bool]) -> Result<CycleResult, NetlistError> {
+        let result = self.evaluate_dense(inputs)?;
+        self.state.copy_from_slice(&result.next_state);
+        Ok(result)
+    }
+
+    /// Evaluates one clock cycle from a name-keyed input map.  Thin shim over
+    /// [`Self::evaluate_dense`]: fills the reusable dense buffer with one
+    /// lookup into the caller's map per primary input, then runs the
+    /// hash-free dense path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UndefinedSignal`] if `inputs` misses a primary
+    /// input.
+    pub fn evaluate(
+        &mut self,
+        inputs: &HashMap<String, bool>,
+    ) -> Result<CycleResult, NetlistError> {
+        self.fill_input_buf(inputs)?;
+        let buf = std::mem::take(&mut self.input_buf);
+        let result = self.evaluate_dense(&buf);
+        self.input_buf = buf;
+        result
+    }
+
+    /// Evaluates one name-keyed cycle and advances the flip-flop state.
     ///
     /// # Errors
     ///
@@ -147,38 +201,52 @@ impl<'a> Simulator<'a> {
         Ok(result)
     }
 
+    fn fill_input_buf(&mut self, inputs: &HashMap<String, bool>) -> Result<(), NetlistError> {
+        for (&pi, slot) in self.netlist.primary_inputs().iter().zip(0..) {
+            let gate = self.netlist.gate(pi);
+            let value =
+                inputs.get(&gate.name).copied().ok_or_else(|| NetlistError::UndefinedSignal {
+                    name: gate.name.clone(),
+                    referenced_by: "simulation input vector".to_string(),
+                })?;
+            self.input_buf[slot] = value;
+        }
+        Ok(())
+    }
+
     /// Checks that every combinational gate's stored value is consistent with
     /// its fan-in values — a whole-netlist self-consistency assertion used by
     /// the property tests.
     #[must_use]
     pub fn is_consistent(&self) -> bool {
         self.netlist.iter().filter(|g| g.kind.is_combinational()).all(|gate| {
-            let inputs: Vec<bool> = gate.fanin.iter().map(|&f| self.values[f.index()]).collect();
-            self.values[gate.id.index()] == eval_gate(gate.kind, &inputs)
+            self.values[gate.id.index()]
+                == eval_gate(gate.kind, self.netlist.fanin(gate.id), &self.values)
         })
     }
 }
 
-/// Evaluates one gate function.
-fn eval_gate(kind: GateKind, inputs: &[bool]) -> bool {
+/// Evaluates one gate function over its fan-in slice, reading signal values
+/// from the dense value table (no per-gate allocation).
+fn eval_gate(kind: GateKind, fanin: &[GateId], values: &[bool]) -> bool {
+    let val = |i: usize| fanin.get(i).map(|f| values[f.index()]).unwrap_or(false);
     match kind {
         GateKind::Const0 => false,
         GateKind::Const1 => true,
-        GateKind::Buf => inputs.first().copied().unwrap_or(false),
-        GateKind::Not => !inputs.first().copied().unwrap_or(false),
-        GateKind::And => inputs.iter().all(|&b| b),
-        GateKind::Nand => !inputs.iter().all(|&b| b),
-        GateKind::Or => inputs.iter().any(|&b| b),
-        GateKind::Nor => !inputs.iter().any(|&b| b),
-        GateKind::Xor => inputs.iter().filter(|&&b| b).count() % 2 == 1,
-        GateKind::Xnor => inputs.iter().filter(|&&b| b).count() % 2 == 0,
+        GateKind::Buf => val(0),
+        GateKind::Not => !val(0),
+        GateKind::And => fanin.iter().all(|f| values[f.index()]),
+        GateKind::Nand => !fanin.iter().all(|f| values[f.index()]),
+        GateKind::Or => fanin.iter().any(|f| values[f.index()]),
+        GateKind::Nor => !fanin.iter().any(|f| values[f.index()]),
+        GateKind::Xor => fanin.iter().filter(|f| values[f.index()]).count() % 2 == 1,
+        GateKind::Xnor => fanin.iter().filter(|f| values[f.index()]).count() % 2 == 0,
         // MUX fan-in order: (select, a, b) — select chooses `b` when high.
         GateKind::Mux => {
-            let select = inputs.first().copied().unwrap_or(false);
-            if select {
-                inputs.get(2).copied().unwrap_or(false)
+            if val(0) {
+                val(2)
             } else {
-                inputs.get(1).copied().unwrap_or(false)
+                val(1)
             }
         }
         // Sources and LUTs are never evaluated here.
@@ -292,6 +360,43 @@ mod tests {
         assert_eq!(r.outputs.len(), nl.primary_outputs().len());
         assert_eq!(r.next_state.len(), nl.flip_flop_count());
         assert!(sim.is_consistent());
+    }
+
+    #[test]
+    fn dense_and_named_inputs_agree() {
+        let nl = parse_bench("s27", crate::embedded::S27_BENCH).unwrap();
+        let mut named = Simulator::new(&nl).unwrap();
+        let mut dense = Simulator::new(&nl).unwrap();
+        // Dense slots follow declaration order and match the resolved map.
+        for (slot, &pi) in nl.primary_inputs().iter().enumerate() {
+            assert_eq!(dense.input_slot(&nl.gate(pi).name), Some(slot));
+        }
+        assert_eq!(dense.input_slot("nope"), None);
+        for pattern in 0..16_u32 {
+            let vector: Vec<bool> = (0..4).map(|bit| pattern & (1 << bit) != 0).collect();
+            let map: HashMap<String, bool> = nl
+                .primary_inputs()
+                .iter()
+                .zip(&vector)
+                .map(|(&pi, &v)| (nl.gate(pi).name.clone(), v))
+                .collect();
+            assert_eq!(named.step(&map).unwrap(), dense.step_dense(&vector).unwrap());
+        }
+    }
+
+    #[test]
+    fn short_dense_vectors_name_the_missing_input() {
+        let nl = parse_bench("s27", crate::embedded::S27_BENCH).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let err = sim.evaluate_dense(&[true, false]).unwrap_err();
+        let missing = nl.gate(nl.primary_inputs()[2]).name.clone();
+        assert_eq!(
+            err,
+            NetlistError::UndefinedSignal {
+                name: missing,
+                referenced_by: "simulation input vector".to_string()
+            }
+        );
     }
 
     #[test]

@@ -47,7 +47,7 @@ impl NetlistStats {
         let avg_fanin = if comb.is_empty() {
             0.0
         } else {
-            comb.iter().map(|g| g.fanin.len()).sum::<usize>() as f64 / comb.len() as f64
+            comb.iter().map(|g| g.fanin_count()).sum::<usize>() as f64 / comb.len() as f64
         };
         let fanout_counts = netlist.fanout_counts();
         let driven: Vec<usize> = fanout_counts.iter().copied().filter(|&c| c > 0).collect();

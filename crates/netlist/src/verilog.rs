@@ -62,7 +62,7 @@ pub fn to_verilog(netlist: &Netlist) -> String {
     for gate in netlist.iter() {
         let name = sanitize(&gate.name);
         let operands: Vec<String> =
-            gate.fanin.iter().map(|&f| sanitize(&netlist.gate(f).name)).collect();
+            netlist.fanin(gate.id).iter().map(|&f| sanitize(&netlist.gate(f).name)).collect();
         let rhs = match gate.kind {
             GateKind::Input | GateKind::Dff => continue,
             GateKind::Const0 => "1'b0".to_string(),
@@ -100,8 +100,8 @@ pub fn to_verilog(netlist: &Netlist) -> String {
         let _ = writeln!(v, "    always @(posedge clk) begin");
         for &ff in netlist.flip_flops() {
             let gate = netlist.gate(ff);
-            let d = gate
-                .fanin
+            let d = netlist
+                .fanin(ff)
                 .first()
                 .map(|&f| sanitize(&netlist.gate(f).name))
                 .unwrap_or_else(|| "1'b0".to_string());

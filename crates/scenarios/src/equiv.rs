@@ -1,0 +1,243 @@
+//! The equivalence-smoke axis: functional correctness across the suite.
+//!
+//! The other campaign axes sweep *how well* a DIAC design survives
+//! intermittency; this axis asserts *that the replaced design still computes
+//! the same function at all*.  An [`EquivalenceAxis`] names a set of registry
+//! circuits and a seed; [`run_equivalence_axis`] fans the per-circuit checks
+//! out on the shared [`crate::runner::ParallelRunner`] — each worker drives
+//! the *real* synthesis flow (`diac_core::pipeline::SynthesisPipeline`:
+//! clustering, the context's policy restructuring, NVM replacement, the
+//! replaced-netlist rewrite) and then compares original and replaced design
+//! with common-random-number vectors through the 64-lane `netlist::bitsim` —
+//! and folds the outcomes into an [`EquivalenceSmoke`] summary a campaign
+//! (or the CI `equiv-smoke` job) can assert on.  Going through the pipeline
+//! means the sweep covers policy-restructured trees (the default context
+//! applies Policy3's split + merge), not just the raw clustering.
+//!
+//! Like every other scenario axis the sweep is deterministic: the per-circuit
+//! seed is `mix(seed, circuit index)`, so one number reproduces the whole
+//! pass, and a reported counterexample pins the failing pattern exactly.
+
+use diac_core::pipeline::SynthesisPipeline;
+use diac_core::replacement::ReplacementConfig;
+use diac_core::schemes::SchemeContext;
+use diac_core::DiacError;
+use netlist::equiv::EquivConfig;
+use netlist::suite::BenchmarkSuite;
+
+use crate::runner::ParallelRunner;
+use crate::seed::mix;
+
+/// Configuration of one equivalence-smoke sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquivalenceAxis {
+    /// Registry circuits to check (names from
+    /// [`netlist::suite::BenchmarkSuite::diac_paper`]).
+    pub circuits: Vec<String>,
+    /// Base seed; each circuit's vector streams derive from it.
+    pub seed: u64,
+    /// Rounds per circuit (each restarts from reset).
+    pub rounds: usize,
+    /// Consecutive cycles per round (sequential depth coverage).
+    pub cycles_per_round: usize,
+    /// Budget fraction of the replacement run being verified.
+    pub budget_fraction: f64,
+}
+
+impl EquivalenceAxis {
+    /// The full 24-circuit paper suite.
+    #[must_use]
+    pub fn paper_suite(seed: u64) -> Self {
+        Self::over(BenchmarkSuite::diac_paper(), seed)
+    }
+
+    /// The trimmed small suite (circuits ≤ 1000 gates) for quick checks.
+    #[must_use]
+    pub fn small_suite(seed: u64) -> Self {
+        Self::over(BenchmarkSuite::diac_paper_small(), seed)
+    }
+
+    fn over(suite: BenchmarkSuite, seed: u64) -> Self {
+        Self {
+            circuits: suite.iter().map(|c| c.name.to_string()).collect(),
+            seed,
+            rounds: 4,
+            cycles_per_round: 8,
+            budget_fraction: ReplacementConfig::default().budget_fraction,
+        }
+    }
+
+    /// The per-circuit equivalence configuration.
+    #[must_use]
+    pub fn equiv_config(&self, circuit_index: usize) -> EquivConfig {
+        EquivConfig {
+            seed: mix(self.seed, circuit_index as u64),
+            rounds: self.rounds,
+            cycles_per_round: self.cycles_per_round,
+        }
+    }
+}
+
+/// Outcome of one circuit's check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceOutcome {
+    /// Circuit name.
+    pub circuit: String,
+    /// Number of seeded vectors applied.
+    pub vectors: u64,
+    /// NV buffers the replaced netlist carries.
+    pub nv_buffers: usize,
+    /// Rendered counterexample, if the designs disagreed.
+    pub counterexample: Option<String>,
+}
+
+impl EquivalenceOutcome {
+    /// Whether the replaced design matched the original everywhere.
+    #[must_use]
+    pub fn equivalent(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+/// Aggregate of one equivalence-smoke sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceSmoke {
+    /// Per-circuit outcomes, in axis order.
+    pub outcomes: Vec<EquivalenceOutcome>,
+}
+
+impl EquivalenceSmoke {
+    /// Whether every circuit passed.
+    #[must_use]
+    pub fn all_equivalent(&self) -> bool {
+        self.outcomes.iter().all(EquivalenceOutcome::equivalent)
+    }
+
+    /// Total vectors applied across the sweep.
+    #[must_use]
+    pub fn vectors(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.vectors).sum()
+    }
+
+    /// Names of the circuits that failed.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&str> {
+        self.outcomes.iter().filter(|o| !o.equivalent()).map(|o| o.circuit.as_str()).collect()
+    }
+}
+
+impl std::fmt::Display for EquivalenceSmoke {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "equivalence smoke: {}/{} circuits equivalent, {} vectors",
+            self.outcomes.iter().filter(|o| o.equivalent()).count(),
+            self.outcomes.len(),
+            self.vectors()
+        )?;
+        for outcome in &self.outcomes {
+            match &outcome.counterexample {
+                None => writeln!(
+                    f,
+                    "  {} ≡ replaced ({} NV buffers, {} vectors)",
+                    outcome.circuit, outcome.nv_buffers, outcome.vectors
+                )?,
+                Some(cex) => writeln!(f, "  {} MISMATCH: {cex}", outcome.circuit)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checks one circuit through the real synthesis flow: materialise →
+/// pipeline (cluster → policy restructure → replace → rewrite) → compare.
+fn check_circuit(
+    suite: &BenchmarkSuite,
+    pipeline: &SynthesisPipeline,
+    axis: &EquivalenceAxis,
+    index: usize,
+    name: &str,
+) -> Result<EquivalenceOutcome, DiacError> {
+    let nl = suite.materialize(name)?;
+    let artifacts = pipeline.prepare(&nl)?;
+    // One clone of the replaced netlist covers both the buffer count and
+    // the comparison (each circuit is checked exactly once here, so the
+    // artifact-level report cache would buy nothing).
+    let replaced = artifacts.replaced_netlist(pipeline.context())?;
+    let report = netlist::equiv::check_equivalence(&nl, &replaced, &axis.equiv_config(index))?;
+    Ok(EquivalenceOutcome {
+        circuit: name.to_string(),
+        vectors: report.vectors,
+        nv_buffers: diac_core::verify::nv_buffer_count(&replaced),
+        counterexample: report.counterexample.map(|cex| cex.to_string()),
+    })
+}
+
+/// Runs the equivalence axis, one circuit per work item, on `runner`.
+/// Every circuit goes through a [`SynthesisPipeline`] under the default
+/// [`SchemeContext`] (Policy3 restructuring, MRAM, the axis's replacement
+/// budget) — the same flow the scheme evaluations use.
+///
+/// # Errors
+///
+/// Propagates the first materialisation / replacement / interface failure
+/// (a failure here is a bug in the flow, not a mismatch — mismatches come
+/// back as counterexamples inside the summary).
+pub fn run_equivalence_axis(
+    runner: &ParallelRunner,
+    axis: &EquivalenceAxis,
+) -> Result<EquivalenceSmoke, DiacError> {
+    let suite = BenchmarkSuite::diac_paper();
+    let mut ctx = SchemeContext::default();
+    ctx.replacement.budget_fraction = axis.budget_fraction;
+    let pipeline = SynthesisPipeline::new(ctx);
+    let outcomes = runner.try_map(&axis.circuits, |index, name| {
+        check_circuit(&suite, &pipeline, axis, index, name)
+    })?;
+    Ok(EquivalenceSmoke { outcomes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_small_suite_is_fully_equivalent() {
+        let axis = EquivalenceAxis::small_suite(0xD1AC);
+        let smoke = run_equivalence_axis(&ParallelRunner::new(), &axis).unwrap();
+        assert_eq!(smoke.outcomes.len(), axis.circuits.len());
+        assert!(smoke.all_equivalent(), "{smoke}");
+        assert!(smoke.failures().is_empty());
+        assert!(smoke.vectors() >= axis.circuits.len() as u64 * 64);
+        assert!(smoke.outcomes.iter().all(|o| o.nv_buffers > 0));
+        assert!(smoke.to_string().contains("equivalence smoke"));
+    }
+
+    #[test]
+    fn the_axis_is_deterministic_and_seed_sensitive() {
+        let axis = EquivalenceAxis {
+            circuits: vec!["s27".to_string(), "s298".to_string()],
+            seed: 42,
+            rounds: 2,
+            cycles_per_round: 4,
+            budget_fraction: 0.15,
+        };
+        let serial = run_equivalence_axis(&ParallelRunner::serial(), &axis).unwrap();
+        let parallel = run_equivalence_axis(&ParallelRunner::with_threads(4), &axis).unwrap();
+        assert_eq!(serial, parallel);
+        // Per-circuit seeds differ, so circuits are decorrelated.
+        assert_ne!(axis.equiv_config(0).seed, axis.equiv_config(1).seed);
+    }
+
+    #[test]
+    fn unknown_circuits_propagate_as_errors() {
+        let axis = EquivalenceAxis {
+            circuits: vec!["sNaN".to_string()],
+            seed: 1,
+            rounds: 1,
+            cycles_per_round: 1,
+            budget_fraction: 0.15,
+        };
+        assert!(run_equivalence_axis(&ParallelRunner::serial(), &axis).is_err());
+    }
+}

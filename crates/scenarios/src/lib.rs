@@ -11,6 +11,10 @@
 //! * backup sizing (baseline architectural state vs. a DIAC replacement
 //!   summary) ([`space::BackupSizing`]),
 //!
+//! plus an *equivalence-smoke* axis ([`equiv::EquivalenceAxis`]) asserting
+//! that every DIAC-replaced circuit of the evaluation suite still computes
+//! the original function under seeded random vectors —
+//!
 //! — runs each through [`isim::executor::IntermittentExecutor`] on the
 //! order-preserving parallel work-queue ([`runner::ParallelRunner`], shared
 //! with `experiments::SuiteRunner`), and streams the per-run statistics into
@@ -39,6 +43,7 @@
 
 pub mod aggregate;
 pub mod campaign;
+pub mod equiv;
 pub mod runner;
 pub mod scenario;
 pub mod seed;
@@ -46,6 +51,7 @@ pub mod space;
 
 pub use aggregate::{Aggregator, CampaignSummary, MetricRow, METRIC_NAMES};
 pub use campaign::{run, run_with, CampaignConfig, CampaignResult};
+pub use equiv::{run_equivalence_axis, EquivalenceAxis, EquivalenceOutcome, EquivalenceSmoke};
 pub use runner::ParallelRunner;
 pub use scenario::Scenario;
 pub use space::{BackupSizing, ScenarioSpace, SourceFamily, SourceSpec};
