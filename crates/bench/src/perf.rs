@@ -11,6 +11,11 @@
 //!   the embedded `s27` circuit (the paper's worked example),
 //! * `campaign_216` — the full 216-run paper scenario campaign through the
 //!   `IntermittentExecutor` tick loop and the parallel work-queue,
+//! * `campaign_216_batch` — the identical campaign through the
+//!   structure-of-arrays `BatchExecutor` (64 lanes per worker bank, same
+//!   digest); the ratio to `campaign_216` is the batch-engine speedup,
+//! * `batch_executor_s27` — one raw 64-lane bank of the s27-DIAC-sized
+//!   scenario under the scarce schedule, without campaign plumbing,
 //! * `scalar_sim_s298` / `bitsim_s298` — 64 input patterns through the
 //!   scalar simulator (64 dense-slot passes) vs. the 64-lane `BitSim` (one
 //!   word-parallel pass over the CSR slices); the pair documents the
@@ -35,11 +40,14 @@ use std::time::Instant;
 use diac_core::policy::{apply_policy, Policy, PolicyBounds};
 use diac_core::replacement::{insert_nvm_boundaries, ReplacementConfig};
 use diac_core::tree::OperandTree;
+use isim::batch::BatchExecutor;
 use netlist::bitsim::{lane, pack_lanes, BitSim};
 use netlist::equiv::EquivConfig;
 use netlist::sim::Simulator;
-use scenarios::campaign::run_with;
-use scenarios::ParallelRunner;
+use scenarios::campaign::{run_batched_with, run_with};
+use scenarios::space::SourceScratch;
+use scenarios::{ParallelRunner, Scenario, SourceSpec};
+use tech45::units::Seconds;
 
 /// Schema identifier embedded in every artifact.
 pub const SCHEMA: &str = "diac-perf-v1";
@@ -428,6 +436,48 @@ pub fn run_quick_suite(tag: &str, config: &SuiteConfig) -> PerfReport {
         time_iters(config.iters(10), || run_with(&runner, &campaign)),
     ));
 
+    // 3b. the same campaign through the structure-of-arrays batch executor
+    // (64 lanes per worker bank).  Identical digest; the median ratio to
+    // `campaign_216` is the batch-engine speedup the README quotes.
+    benchmarks.push(BenchRecord::from_samples(
+        "campaign_216_batch",
+        time_iters(config.iters(10), || {
+            let result = run_batched_with(&runner, &campaign, 64);
+            debug_assert_eq!(result.runs, 216);
+            result
+        }),
+    ));
+
+    // 3c. the raw batch executor: 64 lanes of the s27-DIAC-sized scenario
+    // (the replacement-derived backup unit of the paper's worked example)
+    // under the scarce schedule, one bank, no campaign plumbing.
+    let s27_sizing = experiments::campaign::diac_backup_sizing().expect("s27 replacement sizing");
+    let batch_scenarios: Vec<Scenario> = (0..64)
+        .map(|i| Scenario {
+            id: i,
+            source: SourceSpec::Schedule(ehsim::schedule::Schedule::scarce()),
+            thresholds: ehsim::pmu::Thresholds::paper_default(),
+            technology: tech45::nvm::NvmTechnology::Mram,
+            sizing: s27_sizing.clone(),
+            seed: 0xD1AC ^ i as u64,
+        })
+        .collect();
+    benchmarks.push(BenchRecord::from_samples(
+        "batch_executor_s27",
+        time_iters(config.iters(20), || {
+            let mut batch = BatchExecutor::new(64);
+            let mut scratch = SourceScratch::new();
+            for scenario in &batch_scenarios {
+                batch.enqueue(scenario.batch_job(
+                    Seconds::new(1500.0),
+                    Seconds::new(0.5),
+                    &mut scratch,
+                ));
+            }
+            batch.run_to_completion()
+        }),
+    ));
+
     // 4/5. functional simulation of s298: the same 64 input patterns per
     // iteration, once as 64 scalar dense-slot passes and once as a single
     // 64-lane word-parallel pass.  The median ratio is the bit-parallel
@@ -600,15 +650,17 @@ mod tests {
     #[test]
     fn the_quick_suite_runs_at_smoke_scale() {
         let report = run_quick_suite("smoke", &SuiteConfig { scale: 0.0 });
-        assert_eq!(report.benchmarks.len(), 6);
+        assert_eq!(report.benchmarks.len(), 8);
         assert!(report.bench("tree_restructure_s298").is_some());
         assert!(report.bench("replacement_s27").is_some());
         assert!(report.bench("equiv_s27").is_some());
+        assert!(report.bench("campaign_216_batch").is_some());
+        assert!(report.bench("batch_executor_s27").is_some());
         let campaign = report.bench("campaign_216").expect("campaign bench");
         assert!(campaign.median_ns > 0);
         assert_eq!(campaign.iterations, 3);
         let parsed = PerfReport::from_json(&report.to_json()).unwrap();
-        assert_eq!(parsed.benchmarks.len(), 6);
+        assert_eq!(parsed.benchmarks.len(), 8);
         // No timing-ratio assertion here: at smoke scale (3 samples) a
         // scheduler preemption could flake it.  The scalar-vs-BitSim ratio
         // is enforced by the release perf gate against BENCH_baseline.json.

@@ -42,6 +42,18 @@ impl Capacitor {
         self
     }
 
+    /// Rebuilds a capacitor from its raw columns (the bank-lane inverse of
+    /// [`Self::capacitance`] / [`Self::max_energy`] / [`Self::energy`]).
+    pub(crate) fn from_raw(capacitance: Capacitance, max_energy: Energy, energy: Energy) -> Self {
+        Self { capacitance, max_energy, energy }
+    }
+
+    /// The storage capacitance.
+    #[must_use]
+    pub fn capacitance(&self) -> Capacitance {
+        self.capacitance
+    }
+
     /// Maximum storable energy (25 mJ for the paper's parameters).
     #[must_use]
     pub fn max_energy(&self) -> Energy {
@@ -85,11 +97,7 @@ impl Capacitor {
     /// discarded (the harvester front-end clamps at V_max).  Returns the
     /// energy actually banked.
     pub fn harvest(&mut self, power: Power, dt: Seconds) -> Energy {
-        let incoming = power.max(Power::ZERO) * dt;
-        let headroom = self.max_energy - self.energy;
-        let banked = incoming.min(headroom).max(Energy::ZERO);
-        self.energy += banked;
-        banked
+        self.cell().harvest(power, dt)
     }
 
     /// Attempts to draw `amount` of energy.  Returns `true` and deducts the
@@ -108,12 +116,78 @@ impl Capacitor {
     /// was actually drained.  This models continuous loads such as leakage,
     /// which keep discharging the capacitor no matter how little is left.
     pub fn drain(&mut self, amount: Energy) -> Energy {
-        let drained = amount.max(Energy::ZERO).min(self.energy);
-        self.energy -= drained;
+        self.cell().drain(amount)
+    }
+
+    /// Convenience for draining a constant `power` over `dt`.
+    pub fn drain_power(&mut self, power: Power, dt: Seconds) -> Energy {
+        self.cell().drain_power(power, dt)
+    }
+
+    /// Borrows this capacitor as an [`EnergyCell`] — the one-lane view whose
+    /// step arithmetic is shared with [`crate::bank::CapacitorBank`], so the
+    /// scalar and batched simulation paths run the exact same physics.
+    #[must_use]
+    #[inline]
+    pub fn cell(&mut self) -> EnergyCell<'_> {
+        EnergyCell { energy: &mut self.energy, max_energy: self.max_energy }
+    }
+}
+
+/// A mutable view of one stored-energy/capacity pair — either a whole
+/// [`Capacitor`] or one lane of a [`crate::bank::CapacitorBank`].
+///
+/// Every energy mutation the tick loop performs (harvest integration,
+/// saturating drains) is defined *here*, once; the scalar capacitor and the
+/// structure-of-arrays bank both delegate to it, which is what makes the
+/// batched executor bit-identical to the scalar one by construction.
+#[derive(Debug)]
+pub struct EnergyCell<'a> {
+    energy: &'a mut Energy,
+    max_energy: Energy,
+}
+
+impl EnergyCell<'_> {
+    /// Builds a cell over a raw energy slot (the bank-lane constructor).
+    pub(crate) fn from_parts(energy: &mut Energy, max_energy: Energy) -> EnergyCell<'_> {
+        EnergyCell { energy, max_energy }
+    }
+
+    /// Currently stored energy.
+    #[must_use]
+    #[inline]
+    pub fn energy(&self) -> Energy {
+        *self.energy
+    }
+
+    /// Maximum storable energy of this lane.
+    #[must_use]
+    pub fn max_energy(&self) -> Energy {
+        self.max_energy
+    }
+
+    /// Integrates `power` harvested over `dt`, clamping at the capacity.
+    /// Returns the energy actually banked (see [`Capacitor::harvest`]).
+    #[inline]
+    pub fn harvest(&mut self, power: Power, dt: Seconds) -> Energy {
+        let incoming = power.max(Power::ZERO) * dt;
+        let headroom = self.max_energy - *self.energy;
+        let banked = incoming.min(headroom).max(Energy::ZERO);
+        *self.energy += banked;
+        banked
+    }
+
+    /// Draws `amount` of energy, saturating at zero.  Returns the energy
+    /// actually drained (see [`Capacitor::drain`]).
+    #[inline]
+    pub fn drain(&mut self, amount: Energy) -> Energy {
+        let drained = amount.max(Energy::ZERO).min(*self.energy);
+        *self.energy -= drained;
         drained
     }
 
     /// Convenience for draining a constant `power` over `dt`.
+    #[inline]
     pub fn drain_power(&mut self, power: Power, dt: Seconds) -> Energy {
         self.drain(power.max(Power::ZERO) * dt)
     }
@@ -209,6 +283,20 @@ mod tests {
         assert!(cap.is_full());
         let cap = Capacitor::paper_default().with_energy(Energy::from_millijoules(-5.0));
         assert!(cap.is_empty());
+    }
+
+    #[test]
+    fn the_cell_view_mutates_the_capacitor_in_place() {
+        let mut cap = Capacitor::paper_default().with_energy(Energy::from_millijoules(5.0));
+        let mut cell = cap.cell();
+        assert!((cell.max_energy().as_millijoules() - 25.0).abs() < 1e-9);
+        let banked = cell.harvest(Power::from_milliwatts(1.0), Seconds::new(2.0));
+        assert!((banked.as_millijoules() - 2.0).abs() < 1e-12);
+        let drained = cell.drain(Energy::from_millijoules(1.0));
+        assert!((drained.as_millijoules() - 1.0).abs() < 1e-12);
+        cell.drain_power(Power::from_milliwatts(1.0), Seconds::new(1.0));
+        assert!((cell.energy().as_millijoules() - 5.0).abs() < 1e-12);
+        assert!((cap.energy().as_millijoules() - 5.0).abs() < 1e-12);
     }
 
     #[test]

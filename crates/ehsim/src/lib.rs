@@ -10,6 +10,10 @@
 //!   accounting, and voltage/energy conversions.
 //! * [`source`] — ambient harvest sources: constant, RFID-burst, solar-like,
 //!   two-state Markov, trace-driven, and piecewise schedules.
+//! * [`bank`] — structure-of-arrays lane banks ([`bank::CapacitorBank`],
+//!   [`bank::PiecewiseCursor`]) for the lockstep batch executor; the per-lane
+//!   physics is shared with the scalar types through
+//!   [`capacitor::EnergyCell`].
 //! * [`pmu`] — the power-management unit: the six thresholds of the paper's
 //!   FSM (Th_Se, Th_Cp, Th_Tr, Th_SafeZone, Th_Bk, Th_Off) and the operating
 //!   zone / interrupt classification derived from them.
@@ -36,14 +40,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bank;
 pub mod capacitor;
 pub mod pmu;
 pub mod schedule;
 pub mod source;
 pub mod trace;
 
-pub use capacitor::Capacitor;
-pub use pmu::{OperatingZone, PowerEvent, PowerManagementUnit, Thresholds};
+pub use bank::{CapacitorBank, PiecewiseCursor};
+pub use capacitor::{Capacitor, EnergyCell};
+pub use pmu::{OperatingZone, PowerEvent, PowerManagementUnit, ThresholdBank, Thresholds};
 pub use schedule::Schedule;
 pub use source::{HarvestSource, MarkovSource, PiecewiseSource, RfidSource, SolarSource};
 pub use trace::{NullSink, TraceRecorder, TraceSample, TraceSink};

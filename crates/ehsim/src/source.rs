@@ -265,15 +265,30 @@ impl PiecewiseSource {
     pub fn into_segments(self) -> Vec<(Seconds, Power)> {
         self.segments
     }
-}
 
-impl HarvestSource for PiecewiseSource {
-    fn power_at(&mut self, t: Seconds) -> Power {
+    /// The `(segment_start, power)` table.
+    #[must_use]
+    pub fn segments(&self) -> &[(Seconds, Power)] {
+        &self.segments
+    }
+
+    /// Maps an absolute query time onto the schedule's local time axis,
+    /// wrapping cyclic schedules — the exact mapping [`Self::power_at`]
+    /// applies before its segment scan (shared with
+    /// [`crate::bank::PiecewiseCursor`]).
+    pub(crate) fn wrapped_time(&self, t: Seconds) -> f64 {
         let mut time = t.as_seconds();
         let total = self.total.as_seconds();
         if self.cyclic && total > 0.0 {
             time %= total;
         }
+        time
+    }
+}
+
+impl HarvestSource for PiecewiseSource {
+    fn power_at(&mut self, t: Seconds) -> Power {
+        let time = self.wrapped_time(t);
         let mut current = Power::ZERO;
         for &(start, power) in &self.segments {
             if time >= start.as_seconds() {

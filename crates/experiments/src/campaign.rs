@@ -62,11 +62,44 @@ pub fn run(seed: u64) -> Result<CampaignResult, DiacError> {
     run_with(&ParallelRunner::new(), seed)
 }
 
+/// Runs the paper campaign through the lockstep batch executor on an
+/// explicit runner, with `width` lanes per worker bank.  Bit-identical to
+/// [`run_with`] (same digest) — the batched path only reorganises the
+/// execution.
+///
+/// # Errors
+///
+/// Propagates the synthesis-side failures of [`diac_backup_sizing`].
+pub fn run_batched_with(
+    runner: &ParallelRunner,
+    seed: u64,
+    width: usize,
+) -> Result<CampaignResult, DiacError> {
+    Ok(scenarios::campaign::run_batched_with(runner, &paper_campaign(seed)?, width))
+}
+
+/// Runs the paper campaign through the batch executor on all cores with the
+/// default lane count.
+///
+/// # Errors
+///
+/// Propagates the synthesis-side failures of [`diac_backup_sizing`].
+pub fn run_batched(seed: u64) -> Result<CampaignResult, DiacError> {
+    run_batched_with(&ParallelRunner::new(), seed, scenarios::DEFAULT_BATCH_WIDTH)
+}
+
 /// Runs the tiny deterministic smoke campaign (16 scenarios, fixed seed) —
 /// shared by the golden tests, the CI smoke job and the `campaign` example.
 #[must_use]
 pub fn run_smoke() -> CampaignResult {
     scenarios::campaign::run(&CampaignConfig::smoke())
+}
+
+/// The smoke campaign through the batch executor — same digest as
+/// [`run_smoke`].
+#[must_use]
+pub fn run_smoke_batched() -> CampaignResult {
+    scenarios::campaign::run_batched(&CampaignConfig::smoke())
 }
 
 /// Renders a campaign as one table: the overall aggregate first, then one
@@ -152,5 +185,10 @@ mod tests {
     #[test]
     fn smoke_runs_twice_with_the_same_digest() {
         assert_eq!(run_smoke().digest(), run_smoke().digest());
+    }
+
+    #[test]
+    fn the_batched_smoke_campaign_matches_the_scalar_one() {
+        assert_eq!(run_smoke(), run_smoke_batched());
     }
 }

@@ -1,0 +1,677 @@
+//! The structure-of-arrays batch executor: N scenarios stepped in lockstep.
+//!
+//! [`crate::executor::IntermittentExecutor`] advances one FSM + capacitor +
+//! harvest source per `dt` tick.  A campaign runs hundreds of such lifetimes
+//! back to back, each one a fully independent (config, seed) point — the
+//! same shape the 64-lane `BitSim` exploits on the logic side.  This module
+//! applies the lane-packing idea to the energy domain:
+//!
+//! * [`FsmBank`] scatters the per-lane FSM state (`fsm::LaneState`)
+//!   into column vectors — states, `Reg_Flag`s, RNG streams, timers,
+//!   in-flight operations, flags, statistics — so lane gather/scatter and
+//!   diagnostics walk contiguous memory;
+//! * the capacitor columns live in an [`ehsim::bank::CapacitorBank`];
+//!   [`BatchExecutor::zones`] assembles an [`ehsim::pmu::ThresholdBank`] on
+//!   demand for the batched PMU zone classification;
+//! * [`BatchExecutor`] owns the banks plus a scenario queue: it advances all
+//!   live lanes in lockstep blocks of `dt` ticks (each lane's state hoisted
+//!   out of the columns into registers for the duration of a block, exactly
+//!   like the scalar executor's loop, then scattered back), retires lanes
+//!   whose lifetime is over, and refills free lanes from the queue — so
+//!   ragged durations never stall the bank.
+//!
+//! # Why the batch is bit-identical to the scalar path
+//!
+//! Lanes never exchange data: each lane's trajectory is a pure function of
+//! its own [`BatchJob`].  Per lane, the executor performs *the same
+//! floating-point operations in the same order* as
+//! [`IntermittentExecutor::run`](crate::executor::IntermittentExecutor::run)
+//! — its per-step body is the scalar executor's, and the arithmetic is the
+//! shared [`ehsim::capacitor::EnergyCell`] / `fsm::FsmLaneMut` code the
+//! scalar types delegate to.  Interleaving whole-lane blocks across lanes
+//! cannot change any lane's result, so the per-scenario [`RunStats`] — and
+//! therefore every campaign digest — match the scalar oracle exactly.  The
+//! same argument covers retirement and refill: a freshly filled lane starts
+//! from the same boot state (`fsm::LaneState::boot`) with its own seeded
+//! RNG, exactly as a fresh scalar executor would, and its neighbours'
+//! columns are untouched.
+
+use std::collections::VecDeque;
+
+use ehsim::bank::CapacitorBank;
+use ehsim::capacitor::Capacitor;
+use ehsim::pmu::{OperatingZone, ThresholdBank};
+use ehsim::source::HarvestSource;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tech45::units::{Energy, Power, Seconds};
+
+use crate::fsm::{FsmConfig, InFlight, LaneFlags, LaneState, NodeFsm};
+use crate::interrupts::TimerInterrupt;
+use crate::reg_flag::RegFlag;
+use crate::state::NodeState;
+use crate::stats::RunStats;
+
+/// One queued unit of batched work: the exact inputs one
+/// [`crate::executor::IntermittentExecutor::run`] call would take.
+#[derive(Debug, Clone)]
+pub struct BatchJob<S> {
+    /// The FSM configuration (thresholds, backup unit, seed).
+    pub config: FsmConfig,
+    /// The initial storage capacitor (paper default unless overridden).
+    pub capacitor: Capacitor,
+    /// The harvest source the lane samples.
+    pub source: S,
+    /// Simulated lifetime.
+    pub duration: Seconds,
+    /// Simulation time step.
+    pub dt: Seconds,
+}
+
+impl<S> BatchJob<S> {
+    /// A job over the paper-default capacitor — the counterpart of
+    /// [`crate::executor::IntermittentExecutor::with_source`] followed by
+    /// `run(duration, dt)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive (the scalar executor's
+    /// contract, enforced at enqueue time instead of mid-bank).
+    #[must_use]
+    pub fn new(config: FsmConfig, source: S, duration: Seconds, dt: Seconds) -> Self {
+        assert!(dt.value() > 0.0, "time step must be positive");
+        Self { config, capacitor: Capacitor::paper_default(), source, duration, dt }
+    }
+
+    /// Overrides the initial capacitor.
+    #[must_use]
+    pub fn with_capacitor(mut self, capacitor: Capacitor) -> Self {
+        self.capacitor = capacitor;
+        self
+    }
+
+    /// Number of `dt` ticks this job runs for — the scalar executor's exact
+    /// step count.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        crate::executor::step_count(self.duration, self.dt)
+    }
+}
+
+/// Column vectors of FSM lane state: the structure-of-arrays twin of a
+/// `Vec<NodeFsm>`.
+///
+/// Lanes are appended with [`Self::push`] (which decomposes a booted
+/// [`NodeFsm`], so initialisation shares the scalar path's single source of
+/// truth) and re-initialised in place with [`Self::reset_lane`] when the
+/// executor refills a retired slot.
+#[derive(Debug, Default)]
+pub struct FsmBank {
+    configs: Vec<FsmConfig>,
+    states: Vec<NodeState>,
+    reg_flags: Vec<RegFlag>,
+    rngs: Vec<StdRng>,
+    timers: Vec<TimerInterrupt>,
+    in_flight: Vec<Option<InFlight>>,
+    flags: Vec<LaneFlags>,
+    stats: Vec<RunStats>,
+}
+
+impl FsmBank {
+    /// An empty bank with room for `lanes` state machines.
+    #[must_use]
+    pub fn with_capacity(lanes: usize) -> Self {
+        Self {
+            configs: Vec::with_capacity(lanes),
+            states: Vec::with_capacity(lanes),
+            reg_flags: Vec::with_capacity(lanes),
+            rngs: Vec::with_capacity(lanes),
+            timers: Vec::with_capacity(lanes),
+            in_flight: Vec::with_capacity(lanes),
+            flags: Vec::with_capacity(lanes),
+            stats: Vec::with_capacity(lanes),
+        }
+    }
+
+    /// Number of lanes in the bank.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the bank holds no lanes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Scatters a booted FSM into the columns.  Returns the lane index.
+    pub fn push(&mut self, fsm: NodeFsm) -> usize {
+        let (config, lane) = fsm.into_lane();
+        self.configs.push(config);
+        self.states.push(lane.state);
+        self.reg_flags.push(lane.reg_flag);
+        self.rngs.push(lane.rng);
+        self.timers.push(lane.timer);
+        self.in_flight.push(lane.in_flight);
+        self.flags.push(lane.flags);
+        self.stats.push(lane.stats);
+        self.states.len() - 1
+    }
+
+    /// Re-initialises an existing lane from a booted FSM (scenario refill).
+    pub fn reset_lane(&mut self, lane: usize, fsm: NodeFsm) {
+        let (config, state) = fsm.into_lane();
+        self.configs[lane] = config;
+        self.states[lane] = state.state;
+        self.reg_flags[lane] = state.reg_flag;
+        self.rngs[lane] = state.rng;
+        self.timers[lane] = state.timer;
+        self.in_flight[lane] = state.in_flight;
+        self.flags[lane] = state.flags;
+        self.stats[lane] = state.stats;
+    }
+
+    /// The node-state column.
+    #[must_use]
+    pub fn states(&self) -> &[NodeState] {
+        &self.states
+    }
+
+    /// One lane's configuration.
+    #[must_use]
+    pub fn config(&self, lane: usize) -> &FsmConfig {
+        &self.configs[lane]
+    }
+
+    /// One lane's statistics collected so far.
+    #[must_use]
+    pub fn stats(&self, lane: usize) -> &RunStats {
+        &self.stats[lane]
+    }
+
+    /// Mutable access to one lane's statistics (energy-aggregate
+    /// finalisation, exactly like
+    /// [`NodeFsm::stats_mut`]).
+    pub fn stats_mut(&mut self, lane: usize) -> &mut RunStats {
+        &mut self.stats[lane]
+    }
+
+    /// Gathers one lane's state out of the columns so a block of ticks can
+    /// run on register-resident locals (the hoisted loop of
+    /// [`BatchExecutor`]); [`Self::put_lane`] scatters it back.  The lane's
+    /// columns hold placeholder values in between.
+    pub(crate) fn take_lane(&mut self, lane: usize) -> LaneState {
+        LaneState {
+            state: self.states[lane],
+            reg_flag: self.reg_flags[lane],
+            rng: std::mem::replace(&mut self.rngs[lane], StdRng::seed_from_u64(0)),
+            timer: self.timers[lane],
+            in_flight: self.in_flight[lane].take(),
+            flags: self.flags[lane],
+            stats: std::mem::take(&mut self.stats[lane]),
+        }
+    }
+
+    /// Scatters a lane state taken by [`Self::take_lane`] back into the
+    /// columns.
+    pub(crate) fn put_lane(&mut self, lane: usize, state: LaneState) {
+        self.states[lane] = state.state;
+        self.reg_flags[lane] = state.reg_flag;
+        self.rngs[lane] = state.rng;
+        self.timers[lane] = state.timer;
+        self.in_flight[lane] = state.in_flight;
+        self.flags[lane] = state.flags;
+        self.stats[lane] = state.stats;
+    }
+}
+
+/// Steps up to `width` scenarios in lockstep, retiring finished lanes and
+/// refilling them from an internal job queue.
+///
+/// ```
+/// use ehsim::schedule::Schedule;
+/// use isim::batch::{BatchExecutor, BatchJob};
+/// use isim::executor::IntermittentExecutor;
+/// use isim::fsm::FsmConfig;
+/// use tech45::units::Seconds;
+///
+/// let (duration, dt) = (Seconds::new(1500.0), Seconds::new(0.5));
+/// let mut batch = BatchExecutor::new(4);
+/// for seed in 0..6_u64 {
+///     let config = FsmConfig::paper_default().with_seed(seed);
+///     batch.enqueue(BatchJob::new(config, Schedule::fig4().to_source(), duration, dt));
+/// }
+/// let stats = batch.run_to_completion();
+/// // Bit-identical to six scalar runs, in enqueue order.
+/// for (seed, batched) in stats.iter().enumerate() {
+///     let config = FsmConfig::paper_default().with_seed(seed as u64);
+///     let mut scalar = IntermittentExecutor::new(config, Schedule::fig4());
+///     assert_eq!(&scalar.run(duration, dt), batched);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct BatchExecutor<S> {
+    width: usize,
+    queue: VecDeque<(usize, BatchJob<S>)>,
+    next_job: usize,
+    results: Vec<Option<RunStats>>,
+    retired_sources: Vec<S>,
+    // Lane columns (all indexed by lane).
+    caps: CapacitorBank,
+    fsm: FsmBank,
+    sources: Vec<Option<S>>,
+    job_ids: Vec<usize>,
+    step_index: Vec<u64>,
+    steps_total: Vec<u64>,
+    dts: Vec<Seconds>,
+    harvested: Vec<Energy>,
+    clipped: Vec<Energy>,
+    consumed: Vec<Energy>,
+    live: usize,
+}
+
+/// Ticks one lane advances per lockstep block in
+/// [`BatchExecutor::run_to_completion`]: sized so a typical campaign
+/// lifetime (3000 ticks at the default 1500 s / 0.5 s grid) runs as a
+/// single block — the per-block gather/scatter of the lane columns then
+/// costs nothing on the per-step scale, and longer lifetimes still
+/// interleave, retire and refill at block granularity.
+const BLOCK_TICKS: u64 = 4096;
+
+impl<S: HarvestSource> BatchExecutor<S> {
+    /// An executor stepping at most `width` lanes in lockstep (at least
+    /// one).
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        let width = width.max(1);
+        Self {
+            width,
+            queue: VecDeque::new(),
+            next_job: 0,
+            results: Vec::new(),
+            retired_sources: Vec::new(),
+            caps: CapacitorBank::with_capacity(width),
+            fsm: FsmBank::with_capacity(width),
+            sources: Vec::with_capacity(width),
+            job_ids: Vec::with_capacity(width),
+            step_index: Vec::with_capacity(width),
+            steps_total: Vec::with_capacity(width),
+            dts: Vec::with_capacity(width),
+            harvested: Vec::with_capacity(width),
+            clipped: Vec::with_capacity(width),
+            consumed: Vec::with_capacity(width),
+            live: 0,
+        }
+    }
+
+    /// The configured lane count.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of lanes currently mid-lifetime.
+    #[must_use]
+    pub fn live_lanes(&self) -> usize {
+        self.live
+    }
+
+    /// Number of jobs waiting in the queue.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether every enqueued job has run to completion.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.live == 0 && self.queue.is_empty()
+    }
+
+    /// Enqueues a job; it starts as soon as a lane frees up.  Returns the
+    /// job's id — its index into the [`Self::run_to_completion`] result.
+    pub fn enqueue(&mut self, job: BatchJob<S>) -> usize {
+        let id = self.next_job;
+        self.next_job += 1;
+        self.results.push(None);
+        self.queue.push_back((id, job));
+        id
+    }
+
+    /// The FSM column bank (for inspection and tests).
+    #[must_use]
+    pub fn fsm(&self) -> &FsmBank {
+        &self.fsm
+    }
+
+    /// Classifies every lane's stored energy against its own thresholds —
+    /// the batched PMU comparison ([`ThresholdBank::zones_into`]).  The
+    /// threshold columns are assembled on demand from the lane configs (the
+    /// simulation's single source of truth), so there is no per-refill
+    /// bookkeeping to keep in sync.  Entries of idle lanes reflect their
+    /// last simulated state.
+    #[must_use]
+    pub fn zones(&self) -> Vec<OperatingZone> {
+        let mut thresholds = ThresholdBank::with_capacity(self.sources.len());
+        for lane in 0..self.sources.len() {
+            thresholds.push(&self.fsm.config(lane).thresholds);
+        }
+        let mut zones = vec![OperatingZone::Off; thresholds.len()];
+        thresholds.zones_into(self.caps.energies(), &mut zones);
+        zones
+    }
+
+    /// Hands back the harvest sources of retired lanes, so callers can
+    /// recycle their buffers into the next jobs.
+    pub fn take_retired_sources(&mut self) -> Vec<S> {
+        std::mem::take(&mut self.retired_sources)
+    }
+
+    /// Pops queued jobs into free lanes.  Zero-step jobs retire immediately
+    /// (the scalar executor's behaviour for a non-positive duration).
+    fn fill_lanes(&mut self) {
+        while self.live < self.width {
+            let Some((id, job)) = self.queue.pop_front() else { break };
+            // The scalar executor's run-time contract, re-checked here so a
+            // job assembled as a struct literal (the fields are public)
+            // cannot smuggle a degenerate grid past `BatchJob::new`.
+            assert!(job.dt.value() > 0.0, "time step must be positive");
+            let steps = job.steps();
+            // Find a free slot or append a new lane.
+            let lane = (0..self.sources.len()).find(|&l| self.sources[l].is_none());
+            let leak = job.config.sleep_leakage;
+            let fsm = NodeFsm::new(job.config);
+            match lane {
+                Some(lane) => {
+                    self.caps.reset_lane(lane, &job.capacitor, leak);
+                    self.fsm.reset_lane(lane, fsm);
+                    self.sources[lane] = Some(job.source);
+                    self.job_ids[lane] = id;
+                    self.step_index[lane] = 0;
+                    self.steps_total[lane] = steps;
+                    self.dts[lane] = job.dt;
+                    self.harvested[lane] = Energy::ZERO;
+                    self.clipped[lane] = Energy::ZERO;
+                    self.consumed[lane] = Energy::ZERO;
+                }
+                None => {
+                    self.caps.push(&job.capacitor, leak);
+                    self.fsm.push(fsm);
+                    self.sources.push(Some(job.source));
+                    self.job_ids.push(id);
+                    self.step_index.push(0);
+                    self.steps_total.push(steps);
+                    self.dts.push(job.dt);
+                    self.harvested.push(Energy::ZERO);
+                    self.clipped.push(Energy::ZERO);
+                    self.consumed.push(Energy::ZERO);
+                }
+            }
+            self.live += 1;
+            if steps == 0 {
+                let lane = lane.unwrap_or(self.sources.len() - 1);
+                self.retire(lane);
+            }
+        }
+    }
+
+    /// Finalises one finished lane: writes the measured energy aggregates
+    /// into its statistics (the scalar executor's epilogue), parks the
+    /// result under the lane's job id, and frees the slot.
+    fn retire(&mut self, lane: usize) {
+        let stats = self.fsm.stats_mut(lane);
+        stats.energy_harvested = self.harvested[lane];
+        stats.energy_clipped = self.clipped[lane];
+        stats.energy_consumed = self.consumed[lane];
+        self.results[self.job_ids[lane]] = Some(stats.clone());
+        if let Some(source) = self.sources[lane].take() {
+            self.retired_sources.push(source);
+        }
+        self.live -= 1;
+    }
+
+    /// Advances every live lane by its own `dt` (filling free lanes from the
+    /// queue first).  Returns `false` once no lane is live and the queue is
+    /// empty.
+    pub fn tick(&mut self) -> bool {
+        self.advance(1)
+    }
+
+    /// Advances every live lane by up to `ticks` steps of its own `dt`, in
+    /// lane order, filling free lanes from the queue first.
+    ///
+    /// A lane's block runs on locals: its FSM state, capacitor and
+    /// accumulators are gathered out of the columns once, stepped
+    /// `ticks` times through the shared per-step code (register-resident,
+    /// exactly like the scalar executor's loop), and scattered back.  Lanes
+    /// are independent, so blocking changes no lane's arithmetic — only how
+    /// often its state round-trips through the bank columns.
+    fn advance(&mut self, ticks: u64) -> bool {
+        self.fill_lanes();
+        if self.live == 0 {
+            return false;
+        }
+        for lane in 0..self.sources.len() {
+            self.advance_lane_block(lane, ticks);
+        }
+        true
+    }
+
+    /// Runs one lane for up to `ticks` steps (bounded by its remaining
+    /// lifetime), retiring it if the lifetime completes.
+    fn advance_lane_block(&mut self, lane: usize, ticks: u64) {
+        let Some(mut source) = self.sources[lane].take() else { return };
+        let dt = self.dts[lane];
+        let start = self.step_index[lane];
+        let end = (start + ticks).min(self.steps_total[lane]);
+        // Gather the lane into locals.
+        let mut cap = self.caps.lane(lane);
+        let mut state = self.fsm.take_lane(lane);
+        let mut harvested = self.harvested[lane];
+        let mut clipped = self.clipped[lane];
+        let mut consumed = self.consumed[lane];
+        let config = self.fsm.config(lane);
+
+        for i in start..end {
+            // The scalar executor's per-step body, verbatim (see
+            // `IntermittentExecutor::run_with_sink`): the FSM transition —
+            // time accounting and leakage included — is the one shared
+            // `FsmLaneMut::step`.
+            let now = Seconds::new(i as f64 * dt.as_seconds());
+            let power = source.power_at(now);
+            let before = cap.energy();
+            let offered = power.max(Power::ZERO) * dt;
+            let banked = cap.harvest(power, dt);
+            harvested += banked;
+            clipped += offered - banked;
+            state.as_lane_mut(config).step(&mut cap.cell(), now, dt);
+            consumed += (before + banked - cap.energy()).max(Energy::ZERO);
+        }
+
+        // Scatter the lane back into the columns.
+        self.caps.set_energy(lane, cap.energy());
+        self.fsm.put_lane(lane, state);
+        self.sources[lane] = Some(source);
+        self.harvested[lane] = harvested;
+        self.clipped[lane] = clipped;
+        self.consumed[lane] = consumed;
+        self.step_index[lane] = end;
+        if end >= self.steps_total[lane] {
+            self.retire(lane);
+        }
+    }
+
+    /// Runs every enqueued job to completion and returns their statistics in
+    /// enqueue order.  The executor is reusable afterwards.
+    pub fn run_to_completion(&mut self) -> Vec<RunStats> {
+        while self.advance(BLOCK_TICKS) {}
+        self.next_job = 0;
+        self.results
+            .drain(..)
+            .map(|slot| slot.expect("every enqueued job retires with statistics"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::IntermittentExecutor;
+    use ehsim::schedule::Schedule;
+    use ehsim::source::ConstantSource;
+
+    fn scalar(config: FsmConfig, schedule: &Schedule, duration: f64, dt: f64) -> RunStats {
+        let mut exec = IntermittentExecutor::new(config, schedule.clone());
+        exec.run(Seconds::new(duration), Seconds::new(dt))
+    }
+
+    #[test]
+    fn lanes_reproduce_scalar_runs_bit_for_bit() {
+        let mut batch = BatchExecutor::new(3);
+        let schedules = [Schedule::fig4(), Schedule::scarce(), Schedule::plentiful()];
+        for (i, schedule) in schedules.iter().enumerate() {
+            let config = FsmConfig::paper_default().with_seed(1000 + i as u64);
+            batch.enqueue(BatchJob::new(
+                config,
+                schedule.to_source(),
+                Seconds::new(2600.0),
+                Seconds::new(0.5),
+            ));
+        }
+        let stats = batch.run_to_completion();
+        assert_eq!(stats.len(), 3);
+        for (i, schedule) in schedules.iter().enumerate() {
+            let config = FsmConfig::paper_default().with_seed(1000 + i as u64);
+            assert_eq!(stats[i], scalar(config, schedule, 2600.0, 0.5), "lane {i}");
+        }
+        assert!(batch.is_idle());
+        assert_eq!(batch.take_retired_sources().len(), 3);
+    }
+
+    #[test]
+    fn ragged_durations_retire_and_refill_without_perturbing_neighbours() {
+        // Five jobs with wildly different lifetimes and steps through two
+        // lanes: every refill lands mid-flight of the other lane.
+        let points = [(400.0, 0.5), (2600.0, 0.5), (150.0, 0.1), (900.0, 0.25), (50.0, 0.5)];
+        let mut batch = BatchExecutor::new(2);
+        for (i, &(duration, dt)) in points.iter().enumerate() {
+            let config = FsmConfig::paper_default().with_seed(i as u64);
+            batch.enqueue(BatchJob::new(
+                config,
+                Schedule::fig4().to_source(),
+                Seconds::new(duration),
+                Seconds::new(dt),
+            ));
+        }
+        let stats = batch.run_to_completion();
+        for (i, &(duration, dt)) in points.iter().enumerate() {
+            let config = FsmConfig::paper_default().with_seed(i as u64);
+            assert_eq!(stats[i], scalar(config, &Schedule::fig4(), duration, dt), "job {i}");
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_enqueue_order_and_the_executor_is_reusable() {
+        let mut batch = BatchExecutor::new(8);
+        let mut ids = Vec::new();
+        for seed in 0..4_u64 {
+            ids.push(batch.enqueue(BatchJob::new(
+                FsmConfig::paper_default().with_seed(seed),
+                ConstantSource::new(Power::from_milliwatts(0.1)),
+                Seconds::new(300.0),
+                Seconds::new(0.5),
+            )));
+        }
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        let first = batch.run_to_completion();
+        assert_eq!(first.len(), 4);
+        // Second round on the same executor: fresh ids, same determinism.
+        let id = batch.enqueue(BatchJob::new(
+            FsmConfig::paper_default().with_seed(0),
+            ConstantSource::new(Power::from_milliwatts(0.1)),
+            Seconds::new(300.0),
+            Seconds::new(0.5),
+        ));
+        assert_eq!(id, 0);
+        let second = batch.run_to_completion();
+        assert_eq!(second[0], first[0]);
+    }
+
+    #[test]
+    fn a_zero_duration_job_retires_with_empty_statistics() {
+        let mut batch = BatchExecutor::new(2);
+        batch.enqueue(BatchJob::new(
+            FsmConfig::paper_default(),
+            ConstantSource::new(Power::ZERO),
+            Seconds::ZERO,
+            Seconds::new(0.5),
+        ));
+        let stats = batch.run_to_completion();
+        let mut scalar = IntermittentExecutor::with_source(
+            FsmConfig::paper_default(),
+            ConstantSource::new(Power::ZERO),
+        );
+        assert_eq!(stats[0], scalar.run(Seconds::ZERO, Seconds::new(0.5)));
+    }
+
+    #[test]
+    fn custom_capacitors_ride_along() {
+        let cap = Capacitor::paper_default().with_energy(Energy::from_millijoules(20.0));
+        let mut batch = BatchExecutor::new(1);
+        batch.enqueue(
+            BatchJob::new(
+                FsmConfig::paper_default(),
+                ConstantSource::new(Power::from_milliwatts(0.2)),
+                Seconds::new(500.0),
+                Seconds::new(0.5),
+            )
+            .with_capacitor(cap),
+        );
+        let stats = batch.run_to_completion();
+        let mut scalar = IntermittentExecutor::with_source(
+            FsmConfig::paper_default(),
+            ConstantSource::new(Power::from_milliwatts(0.2)),
+        )
+        .with_capacitor(cap);
+        assert_eq!(stats[0], scalar.run(Seconds::new(500.0), Seconds::new(0.5)));
+    }
+
+    #[test]
+    fn the_zone_diagnostic_matches_the_scalar_classification() {
+        let mut batch = BatchExecutor::new(2);
+        for seed in 0..2_u64 {
+            batch.enqueue(BatchJob::new(
+                FsmConfig::paper_default().with_seed(seed),
+                ConstantSource::new(Power::from_milliwatts(0.3)),
+                Seconds::new(400.0),
+                Seconds::new(0.5),
+            ));
+        }
+        // Advance a few ticks, then compare the batched PMU classification
+        // against the scalar one lane by lane.
+        for _ in 0..100 {
+            assert!(batch.tick());
+        }
+        assert_eq!(batch.live_lanes(), 2);
+        assert_eq!(batch.queued(), 0);
+        let zones = batch.zones();
+        for (lane, zone) in zones.iter().enumerate() {
+            let config = batch.fsm().config(lane);
+            let expected = config.thresholds.zone(batch.caps.energy(lane));
+            assert_eq!(*zone, expected, "lane {lane}");
+        }
+        let _ = batch.run_to_completion();
+    }
+
+    #[test]
+    #[should_panic(expected = "time step")]
+    fn zero_time_steps_are_rejected_at_enqueue() {
+        let _ = BatchJob::new(
+            FsmConfig::paper_default(),
+            ConstantSource::new(Power::ZERO),
+            Seconds::new(10.0),
+            Seconds::ZERO,
+        );
+    }
+}

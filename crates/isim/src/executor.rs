@@ -14,6 +14,13 @@ use tech45::units::{Energy, Power, Seconds};
 use crate::fsm::{FsmConfig, NodeFsm};
 use crate::stats::RunStats;
 
+/// Number of `dt` ticks a run of `duration` takes — the one step-count
+/// formula shared by the scalar executor and the batch engine
+/// ([`crate::batch::BatchJob::steps`]), so their lifetimes can never drift.
+pub(crate) fn step_count(duration: Seconds, dt: Seconds) -> u64 {
+    (duration.as_seconds() / dt.as_seconds()).ceil() as u64
+}
+
 /// Drives one node FSM against one harvest source.
 #[derive(Debug)]
 pub struct IntermittentExecutor<S = ehsim::source::PiecewiseSource> {
@@ -38,11 +45,21 @@ impl<S: HarvestSource> IntermittentExecutor<S> {
         Self { fsm: NodeFsm::new(config), capacitor: Capacitor::paper_default(), source }
     }
 
+    /// Replaces the storage capacitor (the default is the paper's 2 mF /
+    /// 25 mJ element, empty).
+    #[must_use]
+    pub fn with_capacitor(mut self, capacitor: Capacitor) -> Self {
+        self.capacitor = capacitor;
+        self
+    }
+
     /// Overrides the initial stored energy (the default is an empty
-    /// capacitor).
+    /// capacitor).  The configured capacitor is adjusted in place — its
+    /// capacitance and capacity are preserved, so this composes with
+    /// [`Self::with_capacitor`] in either order.
     #[must_use]
     pub fn with_initial_energy(mut self, energy: Energy) -> Self {
-        self.capacitor = Capacitor::paper_default().with_energy(energy);
+        self.capacitor = self.capacitor.with_energy(energy);
         self
     }
 
@@ -91,7 +108,7 @@ impl<S: HarvestSource> IntermittentExecutor<S> {
         sink: &mut K,
     ) -> RunStats {
         assert!(dt.value() > 0.0, "time step must be positive");
-        let steps = (duration.as_seconds() / dt.as_seconds()).ceil() as u64;
+        let steps = step_count(duration, dt);
         let mut harvested_total = Energy::ZERO;
         let mut clipped_total = Energy::ZERO;
         let mut consumed_total = Energy::ZERO;
@@ -167,6 +184,30 @@ mod tests {
         let _ = exec.run(Seconds::new(10.0), Seconds::new(1.0));
         let recovered = exec.into_source();
         assert_eq!(recovered, source);
+    }
+
+    #[test]
+    fn with_initial_energy_keeps_the_configured_capacitor() {
+        use tech45::units::{Capacitance, Voltage};
+        // Regression: this builder used to rebuild `Capacitor::paper_default`,
+        // silently discarding whatever capacitor the caller had configured.
+        let small = Capacitor::new(Capacitance::new(0.5e-3), Voltage::new(3.0));
+        let exec = IntermittentExecutor::with_source(
+            FsmConfig::paper_default(),
+            ConstantSource::new(Power::ZERO),
+        )
+        .with_capacitor(small)
+        .with_initial_energy(Energy::from_millijoules(1.0));
+        assert_eq!(exec.capacitor().max_energy(), small.max_energy());
+        assert_eq!(exec.capacitor().capacitance(), small.capacitance());
+        assert!((exec.capacitor().energy().as_millijoules() - 1.0).abs() < 1e-12);
+        // The other composition order works too.
+        let exec = IntermittentExecutor::with_source(
+            FsmConfig::paper_default(),
+            ConstantSource::new(Power::ZERO),
+        )
+        .with_initial_energy(Energy::from_millijoules(99.0));
+        assert!(exec.capacitor().is_full(), "clamping against the default element");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use ehsim::capacitor::Capacitor;
+use ehsim::capacitor::{Capacitor, EnergyCell};
 use ehsim::pmu::Thresholds;
 use tech45::constants::{E_COMPUTE, E_SENSE, E_TRANSMIT, OPERATION_UNCERTAINTY, SLEEP_LEAKAGE_W};
 use tech45::units::{Energy, Power, Seconds};
@@ -122,182 +122,207 @@ impl Default for FsmConfig {
 
 /// An atomic operation currently in flight.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct InFlight {
+pub(crate) struct InFlight {
     remaining_energy: Energy,
     remaining_time: Seconds,
     total_energy: Energy,
     total_time: Seconds,
 }
 
-/// The node state machine.
-#[derive(Debug, Clone)]
-pub struct NodeFsm {
-    config: FsmConfig,
-    state: NodeState,
-    reg_flag: RegFlag,
-    rng: StdRng,
-    timer: TimerInterrupt,
-    in_flight: Option<InFlight>,
+/// The backup/restore bookkeeping flags of one FSM lane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct LaneFlags {
     /// Whether the current volatile state has been captured by a backup.
-    backed_up: bool,
+    pub(crate) backed_up: bool,
     /// Whether a restore from NVM is required before resuming.
-    needs_restore: bool,
+    pub(crate) needs_restore: bool,
     /// Whether the node is currently below the safe-zone threshold.
-    in_safe_zone_dip: bool,
+    pub(crate) in_safe_zone_dip: bool,
     /// Whether a backup happened during the current dip.
-    backup_during_dip: bool,
-    stats: RunStats,
+    pub(crate) backup_during_dip: bool,
 }
 
-impl NodeFsm {
-    /// Creates the FSM in the Sleep state with an idle `Reg_Flag`.
-    #[must_use]
-    pub fn new(config: FsmConfig) -> Self {
-        let timer = TimerInterrupt::new(config.sampling_interval);
-        let seed = config.seed;
+impl LaneFlags {
+    /// Boot-time flags: start as if already inside a (handled) dip so that a
+    /// node that boots with an empty capacitor does not count the initial
+    /// charge-up as a safe-zone entry or recovery.
+    pub(crate) fn boot() -> Self {
         Self {
-            config,
-            state: NodeState::Sleep,
-            reg_flag: RegFlag::IDLE,
-            rng: StdRng::seed_from_u64(seed),
-            timer,
-            in_flight: None,
             backed_up: false,
             needs_restore: false,
-            // Start as if already inside a (handled) dip so that a node that
-            // boots with an empty capacitor does not count the initial
-            // charge-up as a safe-zone entry or recovery.
             in_safe_zone_dip: true,
             backup_during_dip: true,
+        }
+    }
+}
+
+/// The complete mutable per-lane state of one FSM — everything except the
+/// configuration.  [`NodeFsm`] owns exactly one; the batch executor's
+/// [`crate::batch::FsmBank`] scatters the same fields into column vectors.
+#[derive(Debug, Clone)]
+pub(crate) struct LaneState {
+    pub(crate) state: NodeState,
+    pub(crate) reg_flag: RegFlag,
+    pub(crate) rng: StdRng,
+    pub(crate) timer: TimerInterrupt,
+    pub(crate) in_flight: Option<InFlight>,
+    pub(crate) flags: LaneFlags,
+    pub(crate) stats: RunStats,
+}
+
+impl LaneState {
+    /// The boot state of a lane running `config`: Sleep, idle `Reg_Flag`,
+    /// seeded RNG, armed timer.
+    pub(crate) fn boot(config: &FsmConfig) -> Self {
+        Self {
+            state: NodeState::Sleep,
+            reg_flag: RegFlag::IDLE,
+            rng: StdRng::seed_from_u64(config.seed),
+            timer: TimerInterrupt::new(config.sampling_interval),
+            in_flight: None,
+            flags: LaneFlags::boot(),
             stats: RunStats::default(),
         }
     }
 
-    /// Current node state.
-    #[must_use]
-    pub fn state(&self) -> NodeState {
-        self.state
+    /// Borrows this lane as the step view shared with the batch executor.
+    pub(crate) fn as_lane_mut<'a>(&'a mut self, config: &'a FsmConfig) -> FsmLaneMut<'a> {
+        FsmLaneMut {
+            config,
+            state: &mut self.state,
+            reg_flag: &mut self.reg_flag,
+            rng: &mut self.rng,
+            timer: &mut self.timer,
+            in_flight: &mut self.in_flight,
+            flags: &mut self.flags,
+            stats: &mut self.stats,
+        }
     }
+}
 
-    /// Current `Reg_Flag`.
-    #[must_use]
-    pub fn reg_flag(&self) -> RegFlag {
-        self.reg_flag
-    }
+/// A mutable view of one FSM lane's state, borrowed either from a
+/// [`NodeFsm`] or from the column vectors of a [`crate::batch::FsmBank`].
+///
+/// The *entire* Algorithm-1 step transition is defined on this view, once;
+/// the scalar and batched execution paths both call into it, which is what
+/// makes the batch executor bit-identical to [`NodeFsm::step`] by
+/// construction rather than by parallel maintenance.
+#[derive(Debug)]
+pub(crate) struct FsmLaneMut<'a> {
+    pub(crate) config: &'a FsmConfig,
+    pub(crate) state: &'a mut NodeState,
+    pub(crate) reg_flag: &'a mut RegFlag,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) timer: &'a mut TimerInterrupt,
+    pub(crate) in_flight: &'a mut Option<InFlight>,
+    pub(crate) flags: &'a mut LaneFlags,
+    pub(crate) stats: &'a mut RunStats,
+}
 
-    /// Statistics collected so far.
-    #[must_use]
-    pub fn stats(&self) -> &RunStats {
-        &self.stats
-    }
-
-    /// Mutable access to the statistics (the executor adds the energy
-    /// aggregates it measures at the capacitor).
-    pub fn stats_mut(&mut self) -> &mut RunStats {
-        &mut self.stats
-    }
-
-    /// The FSM configuration.
-    #[must_use]
-    pub fn config(&self) -> &FsmConfig {
-        &self.config
-    }
-
-    /// Advances the node by `dt`, drawing from and observing `capacitor`.
-    pub fn step(&mut self, capacitor: &mut Capacitor, now: Seconds, dt: Seconds) {
-        self.stats.add_time(self.state, dt);
+impl FsmLaneMut<'_> {
+    /// Advances the lane by `dt`, drawing from and observing `cap` — the
+    /// full per-step transition including time accounting and sleep leakage.
+    #[inline]
+    pub(crate) fn step(&mut self, cap: &mut EnergyCell<'_>, now: Seconds, dt: Seconds) {
+        self.stats.add_time(*self.state, dt);
 
         // Leakage is drawn in every state except Off.
-        if self.state != NodeState::Off {
-            capacitor.drain_power(self.config.sleep_leakage, dt);
+        if *self.state != NodeState::Off {
+            cap.drain_power(self.config.sleep_leakage, dt);
         }
 
+        self.step_after_leakage(cap, now, dt);
+    }
+
+    /// The step transition after the time accounting and leakage draw.
+    #[inline]
+    fn step_after_leakage(&mut self, cap: &mut EnergyCell<'_>, now: Seconds, dt: Seconds) {
         // Timer interrupt: re-arm the sensing request when idle.
-        if self.timer.poll(now) && self.reg_flag.is_idle() && self.state == NodeState::Sleep {
-            self.reg_flag = RegFlag::SENSE;
+        if self.timer.poll(now) && self.reg_flag.is_idle() && *self.state == NodeState::Sleep {
+            *self.reg_flag = RegFlag::SENSE;
         }
 
-        let energy = capacitor.energy();
+        let energy = cap.energy();
         let th = &self.config.thresholds;
 
         // Safe-zone bookkeeping (entries and recoveries are counted on the
         // threshold crossings, whatever state the node is in).
-        if !self.in_safe_zone_dip && energy < th.safe_zone && self.state != NodeState::Off {
-            self.in_safe_zone_dip = true;
-            self.backup_during_dip = false;
+        if !self.flags.in_safe_zone_dip && energy < th.safe_zone && *self.state != NodeState::Off {
+            self.flags.in_safe_zone_dip = true;
+            self.flags.backup_during_dip = false;
             self.stats.safe_zone_entries += 1;
-        } else if self.in_safe_zone_dip && energy >= th.safe_zone {
-            self.in_safe_zone_dip = false;
-            if !self.backup_during_dip {
+        } else if self.flags.in_safe_zone_dip && energy >= th.safe_zone {
+            self.flags.in_safe_zone_dip = false;
+            if !self.flags.backup_during_dip {
                 self.stats.safe_zone_recoveries += 1;
             }
         }
 
         // Power interrupt: below Th_Bk a backup is mandatory; below Th_Off the
         // node dies.
-        if self.state != NodeState::Off {
+        if *self.state != NodeState::Off {
             if energy < th.off {
                 self.enter_off();
                 return;
             }
-            if energy < th.backup && !self.backed_up && self.state != NodeState::Backup {
-                self.state = NodeState::Backup;
+            if energy < th.backup && !self.flags.backed_up && *self.state != NodeState::Backup {
+                *self.state = NodeState::Backup;
             }
         }
 
-        match self.state {
-            NodeState::Off => self.step_off(capacitor),
-            NodeState::Backup => self.step_backup(capacitor),
-            NodeState::Sleep => self.step_sleep(capacitor, now),
-            NodeState::Sense => self.step_operation(capacitor, dt, NodeState::Sense),
-            NodeState::Compute => self.step_operation(capacitor, dt, NodeState::Compute),
-            NodeState::Transmit => self.step_operation(capacitor, dt, NodeState::Transmit),
+        match *self.state {
+            NodeState::Off => self.step_off(cap),
+            NodeState::Backup => self.step_backup(cap),
+            NodeState::Sleep => self.step_sleep(cap, now),
+            NodeState::Sense => self.step_operation(cap, dt, NodeState::Sense),
+            NodeState::Compute => self.step_operation(cap, dt, NodeState::Compute),
+            NodeState::Transmit => self.step_operation(cap, dt, NodeState::Transmit),
         }
     }
 
     fn enter_off(&mut self) {
         // Recovering from a complete outage is not a "free" safe-zone
         // recovery, whatever happens to the stored energy afterwards.
-        self.backup_during_dip = true;
-        if !self.backed_up && self.in_flight.is_some() {
+        self.flags.backup_during_dip = true;
+        if !self.flags.backed_up && self.in_flight.is_some() {
             // Whatever was in flight is gone; it will be re-executed.
-            self.in_flight = None;
+            *self.in_flight = None;
             self.stats.reexecutions += 1;
             if !self.reg_flag.is_idle() {
                 // The request itself survives only if it was backed up.
-                self.reg_flag = RegFlag::SENSE;
+                *self.reg_flag = RegFlag::SENSE;
             }
         }
-        self.needs_restore = self.backed_up;
-        self.state = NodeState::Off;
+        self.flags.needs_restore = self.flags.backed_up;
+        *self.state = NodeState::Off;
         self.stats.off_events += 1;
     }
 
-    fn step_off(&mut self, capacitor: &mut Capacitor) {
+    fn step_off(&mut self, cap: &mut EnergyCell<'_>) {
         // Recover once there is enough energy to do useful work again.
-        if capacitor.energy() >= self.config.thresholds.sense {
-            if self.needs_restore {
-                capacitor.drain(self.config.backup.restore_energy());
+        if cap.energy() >= self.config.thresholds.sense {
+            if self.flags.needs_restore {
+                cap.drain(self.config.backup.restore_energy());
                 self.stats.restores += 1;
-                self.needs_restore = false;
+                self.flags.needs_restore = false;
             }
-            self.backed_up = false;
-            self.state = NodeState::Sleep;
+            self.flags.backed_up = false;
+            *self.state = NodeState::Sleep;
         }
     }
 
-    fn step_backup(&mut self, capacitor: &mut Capacitor) {
-        capacitor.drain(self.config.backup.backup_energy());
+    fn step_backup(&mut self, cap: &mut EnergyCell<'_>) {
+        cap.drain(self.config.backup.backup_energy());
         self.stats.backups += 1;
-        self.backed_up = true;
-        self.backup_during_dip = true;
-        self.state = NodeState::Sleep;
+        self.flags.backed_up = true;
+        self.flags.backup_during_dip = true;
+        *self.state = NodeState::Sleep;
     }
 
-    fn step_sleep(&mut self, capacitor: &mut Capacitor, _now: Seconds) {
-        let energy = capacitor.energy();
+    fn step_sleep(&mut self, cap: &mut EnergyCell<'_>, _now: Seconds) {
+        let energy = cap.energy();
         let th = &self.config.thresholds;
-        let next = match self.reg_flag {
+        let next = match *self.reg_flag {
             RegFlag::SENSE if energy > th.sense => Some(NodeState::Sense),
             RegFlag::COMPUTE if energy > th.compute => Some(NodeState::Compute),
             RegFlag::TRANSMIT if energy > th.transmit => Some(NodeState::Transmit),
@@ -305,9 +330,9 @@ impl NodeFsm {
         };
         if let Some(state) = next {
             if self.in_flight.is_none() {
-                self.in_flight = Some(self.new_operation(state));
+                *self.in_flight = Some(self.new_operation(state));
             }
-            self.state = state;
+            *self.state = state;
         }
     }
 
@@ -329,19 +354,19 @@ impl NodeFsm {
         }
     }
 
-    fn step_operation(&mut self, capacitor: &mut Capacitor, dt: Seconds, state: NodeState) {
+    fn step_operation(&mut self, cap: &mut EnergyCell<'_>, dt: Seconds, state: NodeState) {
         let th = &self.config.thresholds;
 
         // The dashed blue arrows of Fig. 3a: keep going while the energy stays
         // above the safe zone; otherwise retreat to Sleep (the volatile
         // registers keep the progress).
-        if state != NodeState::Sense && capacitor.energy() <= th.safe_zone {
-            self.state = NodeState::Sleep;
+        if state != NodeState::Sense && cap.energy() <= th.safe_zone {
+            *self.state = NodeState::Sleep;
             return;
         }
 
-        let Some(mut op) = self.in_flight else {
-            self.state = NodeState::Sleep;
+        let Some(mut op) = *self.in_flight else {
+            *self.state = NodeState::Sleep;
             return;
         };
         // Consume energy proportionally to the time simulated this step.
@@ -351,34 +376,94 @@ impl NodeFsm {
             (dt.as_seconds() / op.total_time.as_seconds()).min(1.0)
         };
         let slice = (op.total_energy * fraction).min(op.remaining_energy);
-        capacitor.drain(slice);
+        cap.drain(slice);
         op.remaining_energy -= slice;
         op.remaining_time -= dt;
         // Progress has diverged from whatever was last backed up.
-        self.backed_up = false;
+        self.flags.backed_up = false;
 
         if op.remaining_time.is_non_positive() || op.remaining_energy.is_non_positive() {
-            self.in_flight = None;
+            *self.in_flight = None;
             match state {
                 NodeState::Sense => {
                     self.stats.samples_sensed += 1;
-                    self.reg_flag = RegFlag::COMPUTE;
+                    *self.reg_flag = RegFlag::COMPUTE;
                 }
                 NodeState::Compute => {
                     self.stats.computations_completed += 1;
                     let transmit = self.rng.gen::<f64>() < self.config.transmit_probability;
-                    self.reg_flag = if transmit { RegFlag::TRANSMIT } else { RegFlag::IDLE };
+                    *self.reg_flag = if transmit { RegFlag::TRANSMIT } else { RegFlag::IDLE };
                 }
                 NodeState::Transmit => {
                     self.stats.transmissions_completed += 1;
-                    self.reg_flag = RegFlag::IDLE;
+                    *self.reg_flag = RegFlag::IDLE;
                 }
                 _ => {}
             }
-            self.state = NodeState::Sleep;
+            *self.state = NodeState::Sleep;
         } else {
-            self.in_flight = Some(op);
+            *self.in_flight = Some(op);
         }
+    }
+}
+
+/// The node state machine.
+#[derive(Debug, Clone)]
+pub struct NodeFsm {
+    config: FsmConfig,
+    lane: LaneState,
+}
+
+impl NodeFsm {
+    /// Creates the FSM in the Sleep state with an idle `Reg_Flag`.
+    #[must_use]
+    pub fn new(config: FsmConfig) -> Self {
+        let lane = LaneState::boot(&config);
+        Self { config, lane }
+    }
+
+    /// Current node state.
+    #[must_use]
+    pub fn state(&self) -> NodeState {
+        self.lane.state
+    }
+
+    /// Current `Reg_Flag`.
+    #[must_use]
+    pub fn reg_flag(&self) -> RegFlag {
+        self.lane.reg_flag
+    }
+
+    /// Statistics collected so far.
+    #[must_use]
+    pub fn stats(&self) -> &RunStats {
+        &self.lane.stats
+    }
+
+    /// Mutable access to the statistics (the executor adds the energy
+    /// aggregates it measures at the capacitor).
+    pub fn stats_mut(&mut self) -> &mut RunStats {
+        &mut self.lane.stats
+    }
+
+    /// The FSM configuration.
+    #[must_use]
+    pub fn config(&self) -> &FsmConfig {
+        &self.config
+    }
+
+    /// Decomposes the FSM into its configuration and lane state — the shape
+    /// [`crate::batch::FsmBank`] scatters into columns.
+    pub(crate) fn into_lane(self) -> (FsmConfig, LaneState) {
+        (self.config, self.lane)
+    }
+
+    /// Advances the node by `dt`, drawing from and observing `capacitor`.
+    ///
+    /// The whole transition runs on the `FsmLaneMut` view shared with the
+    /// batch executor, so both paths execute the same code.
+    pub fn step(&mut self, capacitor: &mut Capacitor, now: Seconds, dt: Seconds) {
+        self.lane.as_lane_mut(&self.config).step(&mut capacitor.cell(), now, dt);
     }
 }
 

@@ -15,6 +15,9 @@
 //!   from the architectural state of a baseline design.
 //! * [`executor`] — drives the FSM against a harvest source, records the
 //!   Fig. 4 trace, and accumulates [`stats::RunStats`].
+//! * [`batch`] — the structure-of-arrays batch executor: N scenarios stepped
+//!   in lockstep over column vectors of FSM/capacitor state, bit-identical
+//!   to the scalar executor lane for lane.
 //! * [`stats`] — run statistics and their conversion into the
 //!   [`diac_core::IntermittencyProfile`] consumed by the PDP model.
 //!
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod backup;
+pub mod batch;
 pub mod executor;
 pub mod fsm;
 pub mod interrupts;
@@ -44,6 +48,7 @@ pub mod state;
 pub mod stats;
 
 pub use backup::BackupUnit;
+pub use batch::{BatchExecutor, BatchJob};
 pub use executor::IntermittentExecutor;
 pub use fsm::{FsmConfig, NodeFsm};
 pub use reg_flag::RegFlag;

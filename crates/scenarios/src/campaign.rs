@@ -78,6 +78,10 @@ impl CampaignResult {
     }
 }
 
+/// The default lane count of the batched campaign path: matches the 64-lane
+/// word-parallel convention of the logic-side `BitSim`.
+pub const DEFAULT_BATCH_WIDTH: usize = 64;
+
 /// Runs a campaign on all cores.
 #[must_use]
 pub fn run(config: &CampaignConfig) -> CampaignResult {
@@ -100,7 +104,62 @@ pub fn run_with(runner: &ParallelRunner, config: &CampaignConfig) -> CampaignRes
         runner.map_init(&scenarios, crate::space::SourceScratch::new, |scratch, _, scenario| {
             scenario.run_with_scratch(config.duration, config.dt, scratch)
         });
+    aggregate(config, &scenarios, &stats)
+}
 
+/// Runs a campaign through the lockstep batch executor on all cores, with
+/// [`DEFAULT_BATCH_WIDTH`] lanes per worker.
+#[must_use]
+pub fn run_batched(config: &CampaignConfig) -> CampaignResult {
+    run_batched_with(&ParallelRunner::new(), config, DEFAULT_BATCH_WIDTH)
+}
+
+/// Runs a campaign through [`isim::batch::BatchExecutor`] banks of `width`
+/// lanes, one bank per chunk of scenarios, chunks fanned out on `runner`.
+///
+/// Bit-identical to [`run_with`] by construction: the per-scenario seed
+/// derivation is [`Scenario::batch_job`]'s (the same as the scalar path),
+/// every lane executes the shared per-step physics, the per-run statistics
+/// are flattened back into scenario order, and the aggregation below is the
+/// same code — so the digest matches the scalar campaign at any worker
+/// count and any batch width.  `tests/campaign.rs` pins this.
+#[must_use]
+pub fn run_batched_with(
+    runner: &ParallelRunner,
+    config: &CampaignConfig,
+    width: usize,
+) -> CampaignResult {
+    let scenarios: Vec<Scenario> = config.space.scenarios(config.seed);
+    let width = width.max(1);
+    // One chunk per worker where possible, but never narrower than the bank:
+    // a chunk shorter than `width` would leave lanes idle, and the ragged
+    // tail still refills through each bank's own queue.
+    let chunk_len = scenarios.len().div_ceil(runner.threads().max(1)).max(width);
+    let chunks: Vec<&[Scenario]> = scenarios.chunks(chunk_len.max(1)).collect();
+    let per_chunk: Vec<Vec<isim::stats::RunStats>> =
+        runner.map_init(&chunks, crate::space::SourceScratch::new, |scratch, _, chunk| {
+            let mut batch = isim::batch::BatchExecutor::new(width);
+            for scenario in *chunk {
+                batch.enqueue(scenario.batch_job(config.duration, config.dt, scratch));
+            }
+            let stats = batch.run_to_completion();
+            for source in batch.take_retired_sources() {
+                scratch.recycle_lane(source);
+            }
+            stats
+        });
+    let stats: Vec<isim::stats::RunStats> = per_chunk.into_iter().flatten().collect();
+    aggregate(config, &scenarios, &stats)
+}
+
+/// Folds per-run statistics (in scenario order) into the campaign result —
+/// shared by the scalar and batched paths so their aggregates can only
+/// differ if the per-run statistics do.
+fn aggregate(
+    config: &CampaignConfig,
+    scenarios: &[Scenario],
+    stats: &[isim::stats::RunStats],
+) -> CampaignResult {
     let mut overall = Aggregator::new();
     let mut families: Vec<(SourceFamily, Aggregator)> = SourceFamily::ALL
         .iter()
@@ -114,7 +173,7 @@ pub fn run_with(runner: &ParallelRunner, config: &CampaignConfig) -> CampaignRes
             sizings.push((label, Aggregator::new()));
         }
     }
-    for (scenario, run_stats) in scenarios.iter().zip(&stats) {
+    for (scenario, run_stats) in scenarios.iter().zip(stats) {
         overall.record(run_stats);
         if let Some((_, agg)) =
             families.iter_mut().find(|(family, _)| *family == scenario.source.family())
@@ -154,6 +213,20 @@ mod tests {
         let serial = run_with(&ParallelRunner::serial(), &config);
         let parallel = run_with(&ParallelRunner::with_threads(8), &config);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn batched_campaigns_agree_with_the_scalar_oracle_bit_for_bit() {
+        let config = CampaignConfig::smoke();
+        let scalar = run_with(&ParallelRunner::serial(), &config);
+        for width in [1, 3, 16] {
+            let batched = run_batched_with(&ParallelRunner::serial(), &config, width);
+            assert_eq!(scalar, batched, "width {width} diverged from the scalar oracle");
+        }
+        let wide = run_batched(&config);
+        assert_eq!(scalar, wide);
+        let parallel_batched = run_batched_with(&ParallelRunner::with_threads(8), &config, 4);
+        assert_eq!(scalar, parallel_batched);
     }
 
     #[test]

@@ -17,11 +17,14 @@
 //!
 //! — runs each through [`isim::executor::IntermittentExecutor`] on the
 //! order-preserving parallel work-queue ([`runner::ParallelRunner`], shared
-//! with `experiments::SuiteRunner`), and streams the per-run statistics into
-//! an online aggregator ([`aggregate::Aggregator`]: mean/min/max and
-//! p50/p90/p99 of forward progress, backups, dead time, energy wasted)
-//! without retaining per-run traces.  Every campaign is bit-reproducible
-//! from its seed; [`aggregate::CampaignSummary::digest`] pins that in CI.
+//! with `experiments::SuiteRunner`) or, batched, through the lockstep
+//! structure-of-arrays [`isim::batch::BatchExecutor`]
+//! ([`campaign::run_batched`], bit-identical digests), and streams the
+//! per-run statistics into an online aggregator
+//! ([`aggregate::Aggregator`]: mean/min/max and p50/p90/p99 of forward
+//! progress, backups, dead time, energy wasted) without retaining per-run
+//! traces.  Every campaign is bit-reproducible from its seed;
+//! [`aggregate::CampaignSummary::digest`] pins that in CI.
 //!
 //! See `DESIGN.md` at the repository root for where campaigns sit in the
 //! experiment index.
@@ -50,8 +53,11 @@ pub mod seed;
 pub mod space;
 
 pub use aggregate::{Aggregator, CampaignSummary, MetricRow, METRIC_NAMES};
-pub use campaign::{run, run_with, CampaignConfig, CampaignResult};
+pub use campaign::{
+    run, run_batched, run_batched_with, run_with, CampaignConfig, CampaignResult,
+    DEFAULT_BATCH_WIDTH,
+};
 pub use equiv::{run_equivalence_axis, EquivalenceAxis, EquivalenceOutcome, EquivalenceSmoke};
 pub use runner::ParallelRunner;
 pub use scenario::Scenario;
-pub use space::{BackupSizing, ScenarioSpace, SourceFamily, SourceSpec};
+pub use space::{BackupSizing, LaneSource, ScenarioSpace, SourceFamily, SourceSpec};

@@ -1,6 +1,7 @@
 //! One deterministic `(config, seed)` point of a campaign.
 
 use ehsim::pmu::Thresholds;
+use isim::batch::BatchJob;
 use isim::executor::IntermittentExecutor;
 use isim::fsm::FsmConfig;
 use isim::stats::RunStats;
@@ -8,7 +9,7 @@ use tech45::nvm::NvmTechnology;
 use tech45::units::Seconds;
 
 use crate::seed::mix;
-use crate::space::{BackupSizing, SourceScratch, SourceSpec};
+use crate::space::{BackupSizing, LaneSource, SourceScratch, SourceSpec};
 
 /// A fully specified scenario: running it twice produces bit-identical
 /// statistics, because every random stream (operation-energy jitter,
@@ -66,6 +67,24 @@ impl Scenario {
         let stats = exec.run(duration, dt);
         scratch.recycle(exec.into_source());
         stats
+    }
+
+    /// Packages the scenario as a [`BatchJob`] for the lockstep
+    /// [`isim::batch::BatchExecutor`].
+    ///
+    /// The seed derivation is *identical* to [`Self::run_with_scratch`] —
+    /// same FSM seed, same source seed — and the lane source produces the
+    /// same sample stream as the scalar one, so a batched lane reproduces
+    /// [`Self::run`] bit for bit.
+    #[must_use]
+    pub fn batch_job(
+        &self,
+        duration: Seconds,
+        dt: Seconds,
+        scratch: &mut SourceScratch,
+    ) -> BatchJob<LaneSource> {
+        let source = self.source.build_seeded_lane(mix(self.seed, 0x50BC), scratch);
+        BatchJob::new(self.fsm_config(), source, duration, dt)
     }
 
     /// One-line description for logs and tables.
@@ -127,6 +146,23 @@ mod tests {
             let reused =
                 scenario.run_with_scratch(Seconds::new(400.0), Seconds::new(0.5), &mut scratch);
             assert_eq!(fresh, reused, "scenario #{}", scenario.id);
+        }
+    }
+
+    #[test]
+    fn batch_jobs_reproduce_the_scalar_run_bit_for_bit() {
+        use isim::batch::BatchExecutor;
+        let space = ScenarioSpace::smoke();
+        let scenarios = space.scenarios(0xD1AC);
+        let (duration, dt) = (Seconds::new(800.0), Seconds::new(0.5));
+        let mut batch = BatchExecutor::new(5);
+        let mut scratch = SourceScratch::new();
+        for scenario in &scenarios {
+            batch.enqueue(scenario.batch_job(duration, dt, &mut scratch));
+        }
+        let batched = batch.run_to_completion();
+        for (scenario, batched) in scenarios.iter().zip(&batched) {
+            assert_eq!(&scenario.run(duration, dt), batched, "scenario #{}", scenario.id);
         }
     }
 

@@ -6,6 +6,7 @@
 //! the product is materialised into one deterministic
 //! [`crate::scenario::Scenario`].
 
+use ehsim::bank::PiecewiseCursor;
 use ehsim::pmu::Thresholds;
 use ehsim::schedule::Schedule;
 use ehsim::source::{
@@ -183,14 +184,34 @@ impl SourceSpec {
             }
         }
     }
+
+    /// The batch-lane form of [`Self::build_seeded`]: the identical seeded
+    /// sample stream, with piecewise schedules wrapped in the monotone
+    /// [`PiecewiseCursor`] so a bank lane answers each tick's query in O(1)
+    /// instead of rescanning the segment table.
+    #[must_use]
+    pub fn build_seeded_lane(&self, scenario_seed: u64, scratch: &mut SourceScratch) -> LaneSource {
+        match self.build_seeded(scenario_seed, scratch) {
+            AnySource::Constant(s) => LaneSource::Constant(s),
+            AnySource::Rfid(s) => LaneSource::Rfid(s),
+            AnySource::Solar(s) => LaneSource::Solar(s),
+            AnySource::Markov(s) => LaneSource::Markov(s),
+            AnySource::Piecewise(s) => LaneSource::Piecewise(PiecewiseCursor::new(s)),
+        }
+    }
 }
 
 /// Recycled buffers for materialising sources — one per campaign worker,
 /// threaded through [`crate::ParallelRunner::map_init`] so that repeated
 /// runs reuse their allocations instead of repeating them.
+///
+/// The scalar campaign path holds at most one piecewise buffer at a time
+/// (build, run, recycle); the batched path builds a whole chunk of jobs up
+/// front and hands every retired lane's buffer back at once, so the scratch
+/// keeps a *pool* of spare buffers rather than a single slot.
 #[derive(Debug, Default)]
 pub struct SourceScratch {
-    piecewise: Vec<(Seconds, Power)>,
+    piecewise: Vec<Vec<(Seconds, Power)>>,
 }
 
 impl SourceScratch {
@@ -200,16 +221,23 @@ impl SourceScratch {
         Self::default()
     }
 
-    /// Hands out the spare piecewise segment buffer (empty, capacity
-    /// retained).
+    /// Hands out a spare piecewise segment buffer (empty, capacity
+    /// retained), or a fresh one when the pool is dry.
     fn take_piecewise(&mut self) -> Vec<(Seconds, Power)> {
-        std::mem::take(&mut self.piecewise)
+        self.piecewise.pop().unwrap_or_default()
     }
 
     /// Recovers the buffers of a finished run's source for the next run.
     pub fn recycle(&mut self, source: AnySource) {
         if let AnySource::Piecewise(piecewise) = source {
-            self.piecewise = piecewise.into_segments();
+            self.piecewise.push(piecewise.into_segments());
+        }
+    }
+
+    /// Recovers the buffers of a retired batch lane's source.
+    pub fn recycle_lane(&mut self, source: LaneSource) {
+        if let LaneSource::Piecewise(cursor) = source {
+            self.piecewise.push(cursor.into_inner().into_segments());
         }
     }
 }
@@ -249,6 +277,46 @@ impl HarvestSource for AnySource {
             AnySource::Solar(s) => s.describe(),
             AnySource::Markov(s) => s.describe(),
             AnySource::Piecewise(s) => s.describe(),
+        }
+    }
+}
+
+/// The harvest source of one batch-executor lane: the same sample streams
+/// as [`AnySource`], with piecewise schedules behind the cursor view the
+/// lockstep tick loop can exploit (time only moves forward per lane).  A
+/// flat enum — one dispatch per sample, like the scalar path.
+#[derive(Debug, Clone)]
+pub enum LaneSource {
+    /// Constant source.
+    Constant(ConstantSource),
+    /// RFID bursts.
+    Rfid(RfidSource),
+    /// Solar cycle.
+    Solar(SolarSource),
+    /// Markov channel.
+    Markov(MarkovSource),
+    /// A piecewise schedule behind a monotone segment cursor.
+    Piecewise(PiecewiseCursor),
+}
+
+impl HarvestSource for LaneSource {
+    fn power_at(&mut self, t: Seconds) -> Power {
+        match self {
+            LaneSource::Constant(s) => s.power_at(t),
+            LaneSource::Rfid(s) => s.power_at(t),
+            LaneSource::Solar(s) => s.power_at(t),
+            LaneSource::Markov(s) => s.power_at(t),
+            LaneSource::Piecewise(s) => s.power_at(t),
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            LaneSource::Constant(s) => s.describe(),
+            LaneSource::Rfid(s) => s.describe(),
+            LaneSource::Solar(s) => s.describe(),
+            LaneSource::Markov(s) => s.describe(),
+            LaneSource::Piecewise(s) => s.describe(),
         }
     }
 }
@@ -533,6 +601,58 @@ mod tests {
         let mut sched = SourceSpec::Schedule(Schedule::scarce()).build();
         assert!(sched.describe().contains("piecewise"));
         let _ = sched.power_at(Seconds::new(1.0));
+    }
+
+    #[test]
+    fn lane_sources_sample_identically_to_the_scalar_sources() {
+        let specs = [
+            SourceSpec::Constant { power: Power::from_milliwatts(0.2) },
+            SourceSpec::Rfid {
+                peak: Power::from_milliwatts(1.0),
+                period: Seconds::new(2.0),
+                duty_cycle: 0.4,
+                jitter: 0.2,
+                seed: 7,
+            },
+            SourceSpec::Solar {
+                peak: Power::from_milliwatts(0.8),
+                day_length: Seconds::new(500.0),
+                cloudiness: 0.3,
+                seed: 8,
+            },
+            SourceSpec::Markov {
+                on_power: Power::from_milliwatts(0.5),
+                mean_on: Seconds::new(20.0),
+                mean_off: Seconds::new(40.0),
+                seed: 9,
+            },
+            SourceSpec::Schedule(Schedule::fig4()),
+            SourceSpec::Schedule(Schedule::scarce()),
+        ];
+        for spec in &specs {
+            let mut scalar = spec.build_seeded(0xBEEF, &mut SourceScratch::new());
+            let mut lane = spec.build_seeded_lane(0xBEEF, &mut SourceScratch::new());
+            for i in 0..20_000_u32 {
+                let t = Seconds::new(f64::from(i) * 0.5);
+                assert_eq!(
+                    scalar.power_at(t).value().to_bits(),
+                    lane.power_at(t).value().to_bits(),
+                    "{} diverges at t={}",
+                    spec.family(),
+                    t.as_seconds()
+                );
+            }
+            assert_eq!(scalar.describe(), lane.describe());
+        }
+        // Cursor buffers recycle through the lane-shaped scratch too.
+        let mut scratch = SourceScratch::new();
+        let lane = SourceSpec::Schedule(Schedule::fig4()).build_seeded_lane(1, &mut scratch);
+        scratch.recycle_lane(lane);
+        let again = SourceSpec::Schedule(Schedule::fig4()).build_seeded_lane(1, &mut scratch);
+        assert!(matches!(again, LaneSource::Piecewise(_)));
+        let constant =
+            SourceSpec::Constant { power: Power::ZERO }.build_seeded_lane(2, &mut scratch);
+        scratch.recycle_lane(constant);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Property test: batch-vs-scalar bit-identity over random scenario points.
+//!
+//! For random `(thresholds, sizing, technology, seed, duration)` points —
+//! including ragged durations sharing one bank, which forces mid-flight lane
+//! retirement and refill — the lanes of a `BatchExecutor` must reproduce the
+//! scalar `Scenario::run` statistics field for field.
+
+use proptest::prelude::*;
+
+use ehsim::pmu::Thresholds;
+use ehsim::schedule::Schedule;
+use isim::batch::BatchExecutor;
+use scenarios::space::{BackupSizing, SourceScratch, SourceSpec};
+use scenarios::Scenario;
+use tech45::nvm::NvmTechnology;
+use tech45::units::{Energy, Power, Seconds};
+
+/// The source grid a case draws from: every family, stochastic and
+/// deterministic alike.
+fn source(index: usize) -> SourceSpec {
+    let mw = Power::from_milliwatts;
+    let s = Seconds::new;
+    match index % 6 {
+        0 => SourceSpec::Constant { power: mw(0.12) },
+        1 => SourceSpec::Rfid {
+            peak: mw(1.0),
+            period: s(2.0),
+            duty_cycle: 0.4,
+            jitter: 0.2,
+            seed: 1,
+        },
+        2 => SourceSpec::Solar { peak: mw(0.8), day_length: s(900.0), cloudiness: 0.3, seed: 2 },
+        3 => SourceSpec::Markov { on_power: mw(0.5), mean_on: s(20.0), mean_off: s(40.0), seed: 3 },
+        4 => SourceSpec::Schedule(Schedule::fig4()),
+        _ => SourceSpec::Schedule(Schedule::scarce()),
+    }
+}
+
+fn sizing(baseline_bits: u64, use_baseline: bool) -> BackupSizing {
+    if use_baseline {
+        BackupSizing::BaselineBits(baseline_bits)
+    } else {
+        // A replacement-shaped sizing with a fixed, plausible boundary cut.
+        BackupSizing::DiacReplacement(diac_core::replacement::ReplacementSummary {
+            boundaries: 3,
+            total_boundary_bits: 36,
+            average_boundary_bits: 12.0,
+            energy_budget: Energy::from_millijoules(1.0),
+            max_unsaved_energy: Energy::from_millijoules(1.0),
+            backup_energy: Energy::ZERO,
+            backup_latency: Seconds::ZERO,
+            restore_energy: Energy::ZERO,
+            restore_latency: Seconds::ZERO,
+        })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random scenario points through one shared bank, with ragged
+    /// durations, reproduce the scalar oracle field for field.
+    #[test]
+    fn batch_lanes_reproduce_scalar_run_stats(
+        // Margins above 4 mJ would push `Th_SafeZone` past `Th_Se` and be
+        // rejected by the consistency filter, so stay inside the valid band.
+        (margin_mj, bits) in (0.0_f64..4.0, 16_u64..256),
+        seeds in prop::collection::vec(0_u64..u64::MAX, 5..6),
+        durations in prop::collection::vec(100.0_f64..1200.0, 5..6),
+        source_offset in 0_usize..6,
+        tech_index in 0_usize..4,
+        width in 1_usize..4,
+    ) {
+        let thresholds = Thresholds::paper_default()
+            .with_safe_zone_margin(Energy::from_millijoules(margin_mj));
+        prop_assert!(thresholds.is_consistent());
+        let technology = NvmTechnology::ALL[tech_index];
+        let dt = Seconds::new(0.5);
+
+        let scenarios: Vec<Scenario> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| Scenario {
+                id: i,
+                source: source(source_offset + i),
+                thresholds,
+                technology,
+                sizing: sizing(bits, i % 2 == 0),
+                seed,
+            })
+            .collect();
+
+        // All scenarios share one bank narrower than the queue, so lanes
+        // with shorter lifetimes retire and refill mid-flight of the rest.
+        let mut batch = BatchExecutor::new(width);
+        let mut scratch = SourceScratch::new();
+        for (scenario, &duration) in scenarios.iter().zip(&durations) {
+            batch.enqueue(scenario.batch_job(Seconds::new(duration), dt, &mut scratch));
+        }
+        let batched = batch.run_to_completion();
+        prop_assert_eq!(batched.len(), scenarios.len());
+
+        for ((scenario, &duration), batched) in scenarios.iter().zip(&durations).zip(&batched) {
+            let scalar = scenario.run(Seconds::new(duration), dt);
+            // `RunStats` equality is exact (`f64` bit patterns included):
+            // any drift in the energy aggregates would fail here.
+            prop_assert_eq!(&scalar, batched, "scenario #{} diverged", scenario.id);
+        }
+    }
+}

@@ -3,25 +3,64 @@
 //! × backup sizing), fanned out across all cores.
 //!
 //! ```text
-//! cargo run --release --example campaign            # full paper grid (216 runs)
-//! cargo run --release --example campaign -- smoke   # CI-sized grid (16 runs)
-//! cargo run --release --example campaign -- seed 7  # full grid, custom seed
+//! cargo run --release --example campaign                  # full paper grid (216 runs)
+//! cargo run --release --example campaign -- smoke         # CI-sized grid (16 runs)
+//! cargo run --release --example campaign -- seed 7        # full grid, custom seed
+//! cargo run --release --example campaign -- --mode batch  # lockstep batch executor
 //! ```
 //!
-//! The campaign is bit-reproducible from its seed: re-running with the same
-//! arguments prints the same digest.
+//! `--mode serial|parallel|batch` selects the execution engine: one worker,
+//! the all-cores scalar fan-out (default), or the structure-of-arrays batch
+//! executor.  All three print the same digest — the campaign is
+//! bit-reproducible from its seed whatever engine runs it.
 
 use experiments::campaign;
+use scenarios::{CampaignConfig, ParallelRunner};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serial,
+    Parallel,
+    Batch,
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("smoke") => campaign::run_smoke(),
-        Some("seed") => {
-            let seed: u64 = args.get(1).map_or(Ok(0xD1AC), |s| s.parse())?;
-            campaign::run(seed)?
+    let mut mode = Mode::Parallel;
+    let mut smoke = false;
+    let mut seed: u64 = 0xD1AC;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "smoke" => smoke = true,
+            "seed" => {
+                seed = iter.next().ok_or("seed needs a value")?.parse()?;
+            }
+            "--mode" => {
+                mode = match iter.next().ok_or("--mode needs a value")?.as_str() {
+                    "serial" => Mode::Serial,
+                    "parallel" => Mode::Parallel,
+                    "batch" => Mode::Batch,
+                    other => return Err(format!("unknown mode `{other}`").into()),
+                };
+            }
+            other => return Err(format!("unknown argument `{other}`").into()),
         }
-        _ => campaign::run(0xD1AC)?,
+    }
+
+    let result = if smoke {
+        let config = CampaignConfig::smoke();
+        match mode {
+            Mode::Serial => scenarios::run_with(&ParallelRunner::serial(), &config),
+            Mode::Parallel => scenarios::run(&config),
+            Mode::Batch => scenarios::run_batched(&config),
+        }
+    } else {
+        match mode {
+            Mode::Serial => campaign::run_with(&ParallelRunner::serial(), seed)?,
+            Mode::Parallel => campaign::run(seed)?,
+            Mode::Batch => campaign::run_batched(seed)?,
+        }
     };
 
     println!("{}", campaign::to_table(&result));

@@ -35,6 +35,27 @@ fn parallel_and_serial_campaigns_agree_for_every_worker_count() {
 }
 
 #[test]
+fn the_paper_campaign_digest_is_identical_across_serial_parallel_and_batched_execution() {
+    // The acceptance pin of the batch engine: the 216-run paper campaign
+    // aggregates bit-identically whatever executes it — one worker, the
+    // all-cores scalar fan-out, or the lockstep batch executor at any batch
+    // width and worker count.
+    let config = campaign::paper_campaign(0xD1AC).expect("campaign config builds");
+    assert!(config.space.len() >= 200, "only {} scenarios", config.space.len());
+    let serial = scenarios::run_with(&ParallelRunner::serial(), &config);
+    let parallel = scenarios::run_with(&ParallelRunner::with_threads(4), &config);
+    assert_eq!(serial, parallel, "parallel scalar diverged");
+    for width in [4, 16, 64] {
+        let batched = scenarios::run_batched_with(&ParallelRunner::serial(), &config, width);
+        assert_eq!(serial, batched, "batch width {width} diverged");
+        assert_eq!(serial.digest(), batched.digest());
+    }
+    let batched_parallel =
+        scenarios::run_batched_with(&ParallelRunner::with_threads(4), &config, 16);
+    assert_eq!(serial, batched_parallel, "parallel batched diverged");
+}
+
+#[test]
 fn the_paper_campaign_exercises_every_axis() {
     let config = campaign::paper_campaign(1).expect("campaign config builds");
     let scenarios = config.space.scenarios(config.seed);
