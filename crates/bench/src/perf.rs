@@ -110,6 +110,9 @@ pub struct PerfReport {
     pub peak_rss_kb: u64,
     /// Worker threads the campaign benchmark ran with.
     pub threads: usize,
+    /// Fraction of the batched paper campaign's ticks that the event-horizon
+    /// executor fast-forwarded (0 in artifacts predating the telemetry).
+    pub batch_fast_forward_fraction: f64,
     /// The per-benchmark records, in suite order.
     pub benchmarks: Vec<BenchRecord>,
 }
@@ -131,6 +134,11 @@ impl PerfReport {
         let _ = writeln!(out, "  \"wall_ms\": {},", self.wall_ms);
         let _ = writeln!(out, "  \"peak_rss_kb\": {},", self.peak_rss_kb);
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(
+            out,
+            "  \"batch_fast_forward_fraction\": {:.6},",
+            self.batch_fast_forward_fraction
+        );
         let _ = writeln!(out, "  \"benchmarks\": [");
         for (i, b) in self.benchmarks.iter().enumerate() {
             let comma = if i + 1 == self.benchmarks.len() { "" } else { "," };
@@ -193,7 +201,9 @@ impl PerfReport {
         if benchmarks.is_empty() {
             return Err("benchmarks array is empty".to_string());
         }
-        Ok(Self { tag, wall_ms, peak_rss_kb, threads, benchmarks })
+        let batch_fast_forward_fraction =
+            number_field(text, "batch_fast_forward_fraction").unwrap_or(0.0);
+        Ok(Self { tag, wall_ms, peak_rss_kb, threads, batch_fast_forward_fraction, benchmarks })
     }
 
     /// Renders the report as a markdown table (the human-facing summary next
@@ -221,6 +231,25 @@ impl PerfReport {
                 fmt_ns(b.max_ns),
                 b.runs_per_sec
             );
+        }
+        if let (Some(scalar), Some(batch)) =
+            (self.bench("campaign_216"), self.bench("campaign_216_batch"))
+        {
+            if batch.median_ns > 0 {
+                let _ = writeln!(
+                    out,
+                    "\nBatch-engine speedup (`campaign_216` / `campaign_216_batch`): \
+                     **{:.2}x**.",
+                    scalar.median_ns as f64 / batch.median_ns as f64
+                );
+                if self.batch_fast_forward_fraction > 0.0 {
+                    let _ = writeln!(
+                        out,
+                        "Event-horizon fast-forwarded ticks: **{:.1} %**.",
+                        self.batch_fast_forward_fraction * 100.0
+                    );
+                }
+            }
         }
         out
     }
@@ -282,15 +311,22 @@ pub struct Comparison {
     /// report — treated as failures (a silently dropped benchmark must not
     /// pass the gate).
     pub missing: Vec<String>,
+    /// Intra-report invariant violations in the *current* report — e.g. the
+    /// batched campaign running slower than the scalar one.  Each fails the
+    /// gate regardless of the baseline.
+    pub violations: Vec<String>,
     /// The threshold the deltas were judged against.
     pub max_regression: f64,
 }
 
 impl Comparison {
-    /// Whether the gate passes: nothing regressed, nothing went missing.
+    /// Whether the gate passes: nothing regressed, nothing went missing, no
+    /// invariant violated.
     #[must_use]
     pub fn passed(&self) -> bool {
-        self.missing.is_empty() && self.deltas.iter().all(|d| !d.regressed)
+        self.missing.is_empty()
+            && self.violations.is_empty()
+            && self.deltas.iter().all(|d| !d.regressed)
     }
 
     /// Markdown rendering of the comparison (the PR-facing summary).
@@ -321,6 +357,9 @@ impl Comparison {
         }
         for name in &self.missing {
             let _ = writeln!(out, "| `{name}` | — | missing | — | **MISSING** |");
+        }
+        for violation in &self.violations {
+            let _ = writeln!(out, "\n**VIOLATION**: {violation}");
         }
         let _ = writeln!(
             out,
@@ -355,7 +394,23 @@ pub fn compare(baseline: &PerfReport, current: &PerfReport, max_regression: f64)
             None => missing.push(base.name.clone()),
         }
     }
-    Comparison { deltas, missing, max_regression }
+    let mut violations = Vec::new();
+    // The batch engine exists to beat the scalar campaign; a current report
+    // where it does not is a defect even if both medians moved "within
+    // threshold" against the baseline.
+    if let (Some(scalar), Some(batch)) =
+        (current.bench("campaign_216"), current.bench("campaign_216_batch"))
+    {
+        if batch.median_ns > scalar.median_ns {
+            violations.push(format!(
+                "`campaign_216_batch` median ({}) is slower than the scalar `campaign_216` \
+                 median ({}) — the batch engine must not lose to the per-scenario loop",
+                fmt_ns(batch.median_ns),
+                fmt_ns(scalar.median_ns)
+            ));
+        }
+    }
+    Comparison { deltas, missing, violations, max_regression }
 }
 
 /// Scales the per-benchmark iteration counts of [`run_quick_suite`].
@@ -448,6 +503,19 @@ pub fn run_quick_suite(tag: &str, config: &SuiteConfig) -> PerfReport {
         }),
     ));
 
+    // 3b'. width sensitivity of the batch engine around the default: narrow
+    // banks refill more often, wide banks stress the gather/scatter columns.
+    for (name, width) in [("campaign_216_batch_w16", 16), ("campaign_216_batch_w256", 256)] {
+        benchmarks.push(BenchRecord::from_samples(
+            name,
+            time_iters(config.iters(5), || {
+                let result = run_batched_with(&runner, &campaign, width);
+                debug_assert_eq!(result.runs, 216);
+                result
+            }),
+        ));
+    }
+
     // 3c. the raw batch executor: 64 lanes of the s27-DIAC-sized scenario
     // (the replacement-derived backup unit of the paper's worked example)
     // under the scarce schedule, one bank, no campaign plumbing.
@@ -530,11 +598,23 @@ pub fn run_quick_suite(tag: &str, config: &SuiteConfig) -> PerfReport {
         }),
     ));
 
+    // Telemetry backing the batch-campaign numbers above: one more run of
+    // the 216 scenarios through a single bank, reading the event-horizon
+    // counters (the timed runs discard them inside the campaign plumbing).
+    let mut batch = BatchExecutor::new(64);
+    let mut batch_scratch = SourceScratch::new();
+    for scenario in campaign.space.scenarios(campaign.seed) {
+        batch.enqueue(scenario.batch_job(campaign.duration, campaign.dt, &mut batch_scratch));
+    }
+    let _ = batch.run_to_completion();
+    let batch_fast_forward_fraction = batch.telemetry().fast_forward_fraction();
+
     PerfReport {
         tag: tag.to_string(),
         wall_ms: suite_start.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
         peak_rss_kb: peak_rss_kb(),
         threads: runner.threads(),
+        batch_fast_forward_fraction,
         benchmarks,
     }
 }
@@ -566,6 +646,7 @@ mod tests {
             wall_ms: 12,
             peak_rss_kb: 3456,
             threads: 2,
+            batch_fast_forward_fraction: 0.9,
             benchmarks: medians
                 .iter()
                 .map(|&(name, median)| BenchRecord {
@@ -626,6 +707,26 @@ mod tests {
     }
 
     #[test]
+    fn a_batch_campaign_slower_than_scalar_fails_the_gate() {
+        // Both benchmarks hold steady against the baseline, but the batched
+        // campaign lost its edge over the scalar one: the gate must fail on
+        // the intra-report invariant alone.
+        let slow = report("pr", &[("campaign_216", 1_000_000), ("campaign_216_batch", 1_500_000)]);
+        let comparison = compare(&slow, &slow, 0.25);
+        assert!(comparison.deltas.iter().all(|d| !d.regressed));
+        assert_eq!(comparison.violations.len(), 1);
+        assert!(!comparison.passed());
+        assert!(comparison.to_markdown().contains("VIOLATION"));
+
+        let fast = report("pr", &[("campaign_216", 1_500_000), ("campaign_216_batch", 200_000)]);
+        let comparison = compare(&fast, &fast, 0.25);
+        assert!(comparison.violations.is_empty());
+        assert!(comparison.passed());
+        // The report-side markdown quotes the speedup ratio.
+        assert!(fast.to_markdown().contains("**7.50x**"), "{}", fast.to_markdown());
+    }
+
+    #[test]
     fn missing_benchmarks_fail_the_gate() {
         let baseline = report("baseline", &[("a", 1_000), ("gone", 1_000)]);
         let current = report("pr", &[("a", 1_000)]);
@@ -650,17 +751,20 @@ mod tests {
     #[test]
     fn the_quick_suite_runs_at_smoke_scale() {
         let report = run_quick_suite("smoke", &SuiteConfig { scale: 0.0 });
-        assert_eq!(report.benchmarks.len(), 8);
+        assert_eq!(report.benchmarks.len(), 10);
         assert!(report.bench("tree_restructure_s298").is_some());
         assert!(report.bench("replacement_s27").is_some());
         assert!(report.bench("equiv_s27").is_some());
         assert!(report.bench("campaign_216_batch").is_some());
+        assert!(report.bench("campaign_216_batch_w16").is_some());
+        assert!(report.bench("campaign_216_batch_w256").is_some());
         assert!(report.bench("batch_executor_s27").is_some());
         let campaign = report.bench("campaign_216").expect("campaign bench");
         assert!(campaign.median_ns > 0);
         assert_eq!(campaign.iterations, 3);
+        assert!(report.to_markdown().contains("Batch-engine speedup"));
         let parsed = PerfReport::from_json(&report.to_json()).unwrap();
-        assert_eq!(parsed.benchmarks.len(), 8);
+        assert_eq!(parsed.benchmarks.len(), 10);
         // No timing-ratio assertion here: at smoke scale (3 samples) a
         // scheduler preemption could flake it.  The scalar-vs-BitSim ratio
         // is enforced by the release perf gate against BENCH_baseline.json.

@@ -169,6 +169,18 @@ impl PiecewiseCursor {
     pub fn into_inner(self) -> PiecewiseSource {
         self.inner
     }
+
+    /// Time from `now` until the schedule can next change its power: the
+    /// start of the next segment, or the cycle wrap for a cyclic schedule
+    /// past its last segment.  `None` means the power is constant forever
+    /// from `now` on.  Until that horizon every `power_at` query returns the
+    /// sample `now` gets, which is what lets a batch executor fast-forward
+    /// across the segment plateau.
+    #[must_use]
+    pub fn segment_horizon(&self, now: Seconds) -> Option<Seconds> {
+        let w = self.inner.wrapped_time(now);
+        self.inner.next_boundary(w).map(|boundary| Seconds::new(boundary - w))
+    }
 }
 
 impl HarvestSource for PiecewiseCursor {
@@ -196,6 +208,17 @@ impl HarvestSource for PiecewiseCursor {
 
     fn describe(&self) -> String {
         self.inner.describe()
+    }
+
+    /// The cursor's steadiness is the underlying schedule's: the cursor
+    /// index is a pure cache of the last query time, so skipped queries
+    /// leave it observably intact (the next call re-seeks on its own).
+    fn steady_ticks(&mut self, tick: u64, dt: Seconds) -> u64 {
+        self.inner.steady_after(tick, dt)
+    }
+
+    fn power_bound(&self) -> Option<Power> {
+        Some(self.inner.max_power())
     }
 }
 
@@ -298,5 +321,38 @@ mod tests {
         let source = Schedule::scarce().to_source();
         let cursor = PiecewiseCursor::new(source.clone());
         assert_eq!(cursor.into_inner(), source);
+    }
+
+    #[test]
+    fn the_segment_horizon_covers_exactly_the_current_plateau() {
+        let segments = vec![
+            (Seconds::new(0.0), Power::from_milliwatts(1.0)),
+            (Seconds::new(10.0), Power::ZERO),
+        ];
+        let mut cursor =
+            PiecewiseCursor::new(PiecewiseSource::new(segments.clone(), true, Seconds::new(30.0)));
+        // Sweep a fine grid: within every reported horizon the power must
+        // stay bit-identical to the sample at the query time.
+        for i in 0..3_000_u32 {
+            let now = Seconds::new(f64::from(i) * 0.05);
+            let here = cursor.power_at(now);
+            let horizon =
+                cursor.segment_horizon(now).expect("cyclic schedules always have a boundary");
+            assert!(horizon.value() > 0.0, "empty horizon at t={}", now.as_seconds());
+            // Probe strictly inside the horizon (on a copy, to keep the
+            // cursor's monotone sweep intact).
+            let mut probe = cursor.clone();
+            let inside = Seconds::new(now.as_seconds() + horizon.as_seconds() * 0.99);
+            assert_eq!(
+                probe.power_at(inside).value().to_bits(),
+                here.value().to_bits(),
+                "power changed inside the horizon at t={}",
+                now.as_seconds()
+            );
+        }
+        // A non-cyclic schedule past its last segment never changes again.
+        let tail = PiecewiseCursor::new(PiecewiseSource::new(segments, false, Seconds::new(30.0)));
+        assert_eq!(tail.segment_horizon(Seconds::new(99.0)), None);
+        assert_eq!(tail.power_bound(), Some(Power::from_milliwatts(1.0)));
     }
 }

@@ -148,8 +148,11 @@ pub struct EnergyCell<'a> {
 }
 
 impl EnergyCell<'_> {
-    /// Builds a cell over a raw energy slot (the bank-lane constructor).
-    pub(crate) fn from_parts(energy: &mut Energy, max_energy: Energy) -> EnergyCell<'_> {
+    /// Builds a cell over a raw energy slot — the bank-lane constructor, also
+    /// used by executors that keep a lane's energy in a local while
+    /// fast-forwarding and need the shared step arithmetic for the
+    /// full-fidelity ticks in between.
+    pub fn from_parts(energy: &mut Energy, max_energy: Energy) -> EnergyCell<'_> {
         EnergyCell { energy, max_energy }
     }
 

@@ -24,6 +24,43 @@ pub trait HarvestSource {
 
     /// A short human-readable description of the source.
     fn describe(&self) -> String;
+
+    /// How many ticks *after* tick `tick` (at `t = tick * dt`) this source is
+    /// provably steady: for every `j` in `1..=steady_ticks(tick, dt)`,
+    /// `power_at((tick + j) * dt)` would return the bit-exact power of tick
+    /// `tick`, **and** calling [`Self::skip_ticks`] over the window leaves
+    /// the source's internal state (RNG streams, cursors)
+    /// indistinguishable from having made the calls.  A caller that has just
+    /// called `power_at(tick * dt)` may therefore replace those `j` queries
+    /// with one `skip_ticks(tick, j, dt)` and reuse the cached sample.
+    ///
+    /// The default is 0 — never steady — which is always safe; sources whose
+    /// per-query randomness actually varies the sample (solar daylight,
+    /// RFID jitter mid-draw) must keep it.
+    fn steady_ticks(&mut self, tick: u64, dt: Seconds) -> u64 {
+        let _ = (tick, dt);
+        0
+    }
+
+    /// Advances internal state exactly as if `power_at((from_tick + j) * dt)`
+    /// had been called for every `j` in `1..=skipped` — the write half of the
+    /// [`Self::steady_ticks`] contract.  Callers only invoke it over windows
+    /// `steady_ticks` vouched for.  The default is a no-op, which is correct
+    /// for every source whose queries are pure or self-healing (constant,
+    /// piecewise schedules, Markov's monotone clock clamp); sources that
+    /// consume randomness per query even when the sample is provably fixed
+    /// (solar at night) must drain the same number of draws here.
+    fn skip_ticks(&mut self, from_tick: u64, skipped: u64, dt: Seconds) {
+        let _ = (from_tick, skipped, dt);
+    }
+
+    /// A conservative upper bound on every sample this source can ever
+    /// return, if one is known.  Used to bound how fast a lane's stored
+    /// energy can rise per tick; `None` (the default) disables any
+    /// bound-based reasoning.
+    fn power_bound(&self) -> Option<Power> {
+        None
+    }
 }
 
 /// A source that always delivers the same power.
@@ -48,6 +85,14 @@ impl HarvestSource for ConstantSource {
     fn describe(&self) -> String {
         format!("constant {:.3} mW", self.power.as_milliwatts())
     }
+
+    fn steady_ticks(&mut self, _tick: u64, _dt: Seconds) -> u64 {
+        u64::MAX
+    }
+
+    fn power_bound(&self) -> Option<Power> {
+        Some(self.power)
+    }
 }
 
 /// An RFID-reader-like source: periodic bursts of power while the tag is in
@@ -61,6 +106,21 @@ pub struct RfidSource {
     jitter: f64,
     rng: StdRng,
     cached_cycle: Option<(u64, f64, f64)>,
+    steady_cache: Option<SteadyCache>,
+}
+
+/// A verified constant-power tick interval of one RFID cycle, kept so the
+/// hot steady probe is two integer compares instead of the float search.
+#[derive(Debug, Clone, Copy)]
+struct SteadyCache {
+    /// First tick of the verified in-region interval (the probe anchor).
+    first: u64,
+    /// Last tick of the verified in-region interval.
+    last: u64,
+    /// Cycle index the interval belongs to.
+    cycle: u64,
+    /// Bit pattern of the `dt` the interval was computed for.
+    dt_bits: u64,
 }
 
 impl RfidSource {
@@ -76,6 +136,7 @@ impl RfidSource {
             jitter: jitter.clamp(0.0, 0.5),
             rng: StdRng::seed_from_u64(seed),
             cached_cycle: None,
+            steady_cache: None,
         }
     }
 
@@ -124,6 +185,74 @@ impl HarvestSource for RfidSource {
             self.duty_cycle * 100.0
         )
     }
+
+    /// Steady while the tick grid stays inside the current cycle's burst (or
+    /// rest) window: the power is a pure function of the phase there, and the
+    /// jitter RNG is only consulted when a *new* cycle begins, so skipping
+    /// the queries cannot perturb the random stream.  The candidate horizon
+    /// is verified with the exact `power_at` phase arithmetic (monotone in
+    /// the tick index), so it never overshoots a boundary.
+    fn steady_ticks(&mut self, tick: u64, dt: Seconds) -> u64 {
+        if self.period.is_non_positive() {
+            // Degenerate period: identically zero power, no state.
+            return u64::MAX;
+        }
+        let dt_s = dt.as_seconds();
+        if dt_s <= 0.0 {
+            return 0;
+        }
+        let Some((cycle, start, end)) = self.cached_cycle else { return 0 };
+        // Re-probes inside an interval the float search below already
+        // verified (and whose cycle window is still the cached one) are a
+        // suffix of a proven window — answer with integer arithmetic.
+        if let Some(c) = self.steady_cache {
+            if c.cycle == cycle
+                && c.dt_bits == dt.value().to_bits()
+                && tick >= c.first
+                && tick <= c.last
+            {
+                return c.last - tick;
+            }
+        }
+        let period = self.period.as_seconds();
+        let t0 = tick as f64 * dt_s;
+        let cycles0 = t0 / period;
+        if cycles0.floor() as u64 != cycle {
+            return 0;
+        }
+        let phase0 = cycles0.fract();
+        // The cycle splits into three constant-power phase regions:
+        // [0, start) off, [start, end) on, [end, 1) off.
+        let hi = if phase0 < start {
+            start
+        } else if phase0 < end {
+            end
+        } else {
+            1.0
+        };
+        let t_boundary = (cycle as f64 + hi) * period;
+        let candidate = ((t_boundary - t0) / dt_s).ceil();
+        if !candidate.is_finite() || candidate < 1.0 {
+            return 0;
+        }
+        let mut h = candidate as u64;
+        // `tick + j -> phase` is monotone within a cycle, so the set of safe
+        // `j` is a prefix: verifying the last tick verifies the whole window.
+        let in_region = |j: u64| {
+            let cj = ((tick + j) as f64 * dt_s) / period;
+            cj.floor() as u64 == cycle && cj.fract() < hi
+        };
+        while h > 0 && !in_region(h) {
+            h -= 1;
+        }
+        self.steady_cache =
+            Some(SteadyCache { first: tick, last: tick + h, cycle, dt_bits: dt.value().to_bits() });
+        h
+    }
+
+    fn power_bound(&self) -> Option<Power> {
+        Some(self.peak)
+    }
 }
 
 /// A slow solar-like source: a raised sinusoid over a configurable "day",
@@ -134,6 +263,9 @@ pub struct SolarSource {
     day_length: Seconds,
     cloudiness: f64,
     rng: StdRng,
+    /// `(end_tick, dt_bits)`: ticks strictly before `end_tick` (at that `dt`)
+    /// are known daylight, so the steady probe answers 0 without arithmetic.
+    day_cache: Option<(u64, u64)>,
 }
 
 impl SolarSource {
@@ -146,6 +278,7 @@ impl SolarSource {
             day_length,
             cloudiness: cloudiness.clamp(0.0, 1.0),
             rng: StdRng::seed_from_u64(seed),
+            day_cache: None,
         }
     }
 }
@@ -168,6 +301,91 @@ impl HarvestSource for SolarSource {
             self.peak.as_milliwatts(),
             self.day_length.as_seconds()
         )
+    }
+
+    /// Solar nights are steady at exactly zero: whenever the sine factor is
+    /// strictly negative, `sun` clamps to `+0.0` and the sample is
+    /// `peak * 0.0 * clouds = +0.0` *whatever* the cloud draw was (clouds is
+    /// always strictly positive), so the queries return a bit-identical zero.
+    /// The draws themselves still advance the RNG, which is what
+    /// [`Self::skip_ticks`] replays.  A float estimate of the ticks left
+    /// until sunrise seeds the horizon and the *last* tick is re-verified
+    /// with the exact `power_at` sine expression; night is one contiguous
+    /// phase interval, so the last tick being dark proves the whole window
+    /// is.  Ticks whose sine lands exactly on `0.0` are excluded (strict
+    /// `< 0`) to keep even the sign of every intermediate product identical.
+    fn steady_ticks(&mut self, tick: u64, dt: Seconds) -> u64 {
+        let day = self.day_length.as_seconds();
+        if day <= 0.0 {
+            // Degenerate day: `power_at` early-returns zero without touching
+            // the RNG, so the source is a stateless constant.
+            return u64::MAX;
+        }
+        let dt_s = dt.as_seconds();
+        if dt_s <= 0.0 {
+            return 0;
+        }
+        // Cheap daylight reject before paying for a sine: the sun factor is
+        // analytically non-negative for phases in [0.25, 0.75], and claiming
+        // "not steady" is always sound, so only the plausible-night band runs
+        // the exact verification below.  The first day probe computes how
+        // many upcoming ticks stay strictly before the phase-0.75 sunset and
+        // caches that, making the per-tick probes of a daylight walk two
+        // integer compares.
+        if let Some((end_tick, dt_bits)) = self.day_cache {
+            if dt_bits == dt.value().to_bits() && tick < end_tick {
+                return 0;
+            }
+        }
+        let probe_phase = ((tick as f64 * dt_s) / day).fract();
+        if (0.25..=0.75).contains(&probe_phase) {
+            let t0 = tick as f64 * dt_s;
+            let sunset = ((t0 / day).floor() + 0.75) * day;
+            let run = ((sunset - t0) / dt_s).floor();
+            if run.is_finite() && run >= 1.0 {
+                self.day_cache = Some((tick + run as u64, dt.value().to_bits()));
+            }
+            return 0;
+        }
+        let dark = |tick: u64| -> bool {
+            let phase = ((tick as f64 * dt_s) / day).fract();
+            (std::f64::consts::PI * (phase * 2.0 - 0.5)).sin() < 0.0
+        };
+        if !dark(tick) {
+            return 0;
+        }
+        // Next sunrise: phase 0.25 of the current cycle if the anchor sits
+        // before it, else of the next cycle.  Staying strictly below the
+        // sunrise time keeps the window inside one contiguous night.
+        let t0 = tick as f64 * dt_s;
+        let cycle = (t0 / day).floor();
+        let phase0 = (t0 / day).fract();
+        let sunrise = if phase0 < 0.25 { (cycle + 0.25) * day } else { (cycle + 1.25) * day };
+        let est = (sunrise - t0) / dt_s - 1.0;
+        if !est.is_finite() || est <= 1.0 {
+            return 0;
+        }
+        let mut h = est.floor() as u64;
+        while h > 0 && !dark(tick + h) {
+            h -= 1;
+        }
+        h
+    }
+
+    /// Replays the cloud-noise draws of `skipped` skipped night queries (one
+    /// `gen::<f64>()` per `power_at` call, exactly as the live path draws).
+    fn skip_ticks(&mut self, _from_tick: u64, skipped: u64, _dt: Seconds) {
+        if self.day_length.is_non_positive() {
+            return;
+        }
+        for _ in 0..skipped {
+            let _: f64 = self.rng.gen();
+        }
+    }
+
+    fn power_bound(&self) -> Option<Power> {
+        // sun and cloud factors both lie in [0, 1].
+        Some(self.peak)
     }
 }
 
@@ -220,6 +438,31 @@ impl HarvestSource for MarkovSource {
             self.mean_on.as_seconds(),
             self.mean_off.as_seconds()
         )
+    }
+
+    /// Ticks strictly before `next_switch` are skippable: queries in that
+    /// range return the current dwell power and touch nothing but
+    /// `last_time`, which is a pure monotonicity clamp — the catch-up loop
+    /// processes switches (and draws their dwell times) in the same order
+    /// whether the intermediate queries happen or not, so the RNG stream and
+    /// all future samples are bit-identical either way.
+    fn steady_ticks(&mut self, tick: u64, dt: Seconds) -> u64 {
+        let dt_s = dt.as_seconds();
+        let est = self.next_switch / dt_s - tick as f64;
+        if !est.is_finite() || est <= 1.0 {
+            return 0;
+        }
+        let mut h = (est.ceil() as u64).saturating_sub(1);
+        // Re-verify the window's last tick with the exact comparison
+        // `power_at` performs; monotonicity of `t ↦ t·dt` covers the rest.
+        while h > 0 && (tick + h) as f64 * dt_s >= self.next_switch {
+            h -= 1;
+        }
+        h
+    }
+
+    fn power_bound(&self) -> Option<Power> {
+        Some(self.on_power)
     }
 }
 
@@ -284,6 +527,60 @@ impl PiecewiseSource {
         }
         time
     }
+
+    /// The next schedule event strictly after local time `w` — the start of
+    /// the next segment, or the cycle wrap for a cyclic schedule already past
+    /// its last segment.  `None` means the power is constant forever from
+    /// `w` on (a non-cyclic schedule past its last segment boundary).
+    pub(crate) fn next_boundary(&self, w: f64) -> Option<f64> {
+        match self.segments.iter().find(|&&(start, _)| w < start.as_seconds()) {
+            Some(&(start, _)) => Some(start.as_seconds()),
+            None if self.cyclic && self.total.as_seconds() > 0.0 => Some(self.total.as_seconds()),
+            None => None,
+        }
+    }
+
+    /// [`HarvestSource::steady_ticks`] for the piecewise schedule: the tick
+    /// grid is steady until the next segment boundary or cycle wrap.  The
+    /// candidate horizon is verified with the exact `wrapped_time` mapping
+    /// (monotone between wraps), so it never overshoots.
+    pub(crate) fn steady_after(&self, tick: u64, dt: Seconds) -> u64 {
+        let dt_s = dt.as_seconds();
+        if dt_s <= 0.0 {
+            return 0;
+        }
+        let w0 = self.wrapped_time(Seconds::new(tick as f64 * dt_s));
+        let Some(boundary) = self.next_boundary(w0) else { return u64::MAX };
+        let mut candidate = ((boundary - w0) / dt_s).ceil();
+        let total = self.total.as_seconds();
+        if self.cyclic && total > 0.0 {
+            // Keep the window strictly inside one cycle, so `w >= w0` at the
+            // endpoint proves no wrap happened anywhere in the window.
+            candidate = candidate.min((total / dt_s) * (1.0 - 1e-9) - 1.0);
+        }
+        if !candidate.is_finite() || candidate < 1.0 {
+            return 0;
+        }
+        let mut h = candidate as u64;
+        // Local time is monotone over a wrap-free window and the current
+        // power region is the interval [w0, boundary), so the set of safe
+        // ticks is a prefix: verifying the endpoint verifies the window.
+        let in_region = |j: u64| {
+            let w = self.wrapped_time(Seconds::new((tick + j) as f64 * dt_s));
+            w >= w0 && w < boundary
+        };
+        while h > 0 && !in_region(h) {
+            h -= 1;
+        }
+        h
+    }
+
+    /// [`HarvestSource::power_bound`] for the piecewise schedule: no sample
+    /// can exceed the largest segment power (or zero, the value before a
+    /// delayed first segment).
+    pub(crate) fn max_power(&self) -> Power {
+        self.segments.iter().fold(Power::ZERO, |acc, &(_, power)| acc.max(power))
+    }
 }
 
 impl HarvestSource for PiecewiseSource {
@@ -307,6 +604,14 @@ impl HarvestSource for PiecewiseSource {
             self.total.as_seconds(),
             if self.cyclic { ", cyclic" } else { "" }
         )
+    }
+
+    fn steady_ticks(&mut self, tick: u64, dt: Seconds) -> u64 {
+        self.steady_after(tick, dt)
+    }
+
+    fn power_bound(&self) -> Option<Power> {
+        Some(self.max_power())
     }
 }
 
@@ -413,6 +718,157 @@ mod tests {
             false,
             Seconds::new(20.0),
         );
+    }
+
+    /// Pins the [`HarvestSource::steady_ticks`] contract against a naive
+    /// per-tick replay: every sample inside a claimed window must equal the
+    /// anchor sample bit for bit, and the skipping instance must stay
+    /// bit-identical to the naive one after every skip (so skipped queries
+    /// provably had no state effect).  Returns the number of skipped ticks.
+    fn check_steady_contract<S: HarvestSource>(
+        mut naive: S,
+        mut skipping: S,
+        ticks: u64,
+        dt: f64,
+    ) -> u64 {
+        let powers: Vec<u64> = (0..ticks)
+            .map(|i| naive.power_at(Seconds::new(i as f64 * dt)).value().to_bits())
+            .collect();
+        let mut skipped = 0;
+        let mut i = 0;
+        while i < ticks {
+            let p = skipping.power_at(Seconds::new(i as f64 * dt)).value().to_bits();
+            assert_eq!(p, powers[i as usize], "tick {i} diverged after a skip");
+            let h = skipping.steady_ticks(i, Seconds::new(dt)).min(ticks - 1 - i);
+            for j in 1..=h {
+                assert_eq!(
+                    powers[(i + j) as usize],
+                    p,
+                    "tick {} inside the window anchored at {} changed power",
+                    i + j,
+                    i
+                );
+            }
+            skipped += h;
+            i += h + 1;
+        }
+        skipped
+    }
+
+    #[test]
+    fn constant_sources_are_steady_forever() {
+        let make = || ConstantSource::new(Power::from_milliwatts(0.3));
+        let skipped = check_steady_contract(make(), make(), 1000, 0.5);
+        assert_eq!(skipped, 999);
+        assert_eq!(make().power_bound(), Some(Power::from_milliwatts(0.3)));
+    }
+
+    #[test]
+    fn markov_steady_windows_never_cross_a_dwell_switch() {
+        for seed in 0..20_u64 {
+            let make = || {
+                MarkovSource::new(
+                    Power::from_milliwatts(0.5),
+                    Seconds::new(20.0),
+                    Seconds::new(40.0),
+                    seed,
+                )
+            };
+            let skipped = check_steady_contract(make(), make(), 8000, 0.5);
+            // Mean dwells span dozens of ticks, so most ticks are skippable.
+            assert!(skipped > 6000, "seed {seed}: only {skipped} skipped");
+            assert_eq!(make().power_bound(), Some(Power::from_milliwatts(0.5)));
+        }
+    }
+
+    #[test]
+    fn rfid_steady_windows_never_cross_a_burst_boundary() {
+        let make = || RfidSource::typical(42);
+        // A fine step lands ticks right on burst edges.
+        let skipped = check_steady_contract(make(), make(), 20_000, 0.05);
+        assert!(skipped > 5_000, "only {skipped} ticks skipped");
+        // Before the first query nothing is cached, so nothing is promised.
+        assert_eq!(make().steady_ticks(0, Seconds::new(0.5)), 0);
+        assert_eq!(make().power_bound(), Some(Power::from_milliwatts(1.0)));
+    }
+
+    #[test]
+    fn rfid_steady_windows_respect_jittered_cycles() {
+        for seed in 0..20 {
+            let make =
+                || RfidSource::new(Power::from_milliwatts(0.6), Seconds::new(5.0), 0.2, 0.2, seed);
+            let skipped = check_steady_contract(make(), make(), 8_000, 0.5);
+            assert!(skipped > 0, "seed {seed} never skipped");
+        }
+    }
+
+    #[test]
+    fn piecewise_steady_windows_stop_at_segments_and_wraps() {
+        let make = |cyclic| {
+            PiecewiseSource::new(
+                vec![
+                    (Seconds::new(0.0), Power::from_milliwatts(1.0)),
+                    (Seconds::new(9.7), Power::ZERO),
+                    (Seconds::new(21.3), Power::from_milliwatts(0.5)),
+                ],
+                cyclic,
+                Seconds::new(30.0),
+            )
+        };
+        for cyclic in [false, true] {
+            let skipped = check_steady_contract(make(cyclic), make(cyclic), 4_000, 0.25);
+            assert!(skipped > 3_000, "cyclic={cyclic}: only {skipped} skipped");
+        }
+        // Non-cyclic schedules are constant — steady forever — past the end.
+        let tail = make(false);
+        assert_eq!(tail.steady_after(1000, Seconds::new(0.25)), u64::MAX);
+        assert_eq!(tail.power_bound(), Some(Power::from_milliwatts(1.0)));
+        assert_eq!(tail.next_boundary(25.0), None);
+        assert_eq!(make(true).next_boundary(25.0), Some(30.0));
+        assert_eq!(make(true).next_boundary(3.0), Some(9.7));
+    }
+
+    #[test]
+    fn piecewise_steady_windows_handle_a_delayed_first_segment() {
+        let make = || {
+            PiecewiseSource::new(
+                vec![(Seconds::new(10.0), Power::from_milliwatts(1.0))],
+                true,
+                Seconds::new(25.0),
+            )
+        };
+        let skipped = check_steady_contract(make(), make(), 2_000, 0.5);
+        assert!(skipped > 1_000, "only {skipped} skipped");
+    }
+
+    #[test]
+    fn power_bounds_dominate_every_sample() {
+        let dt = 0.37;
+        let mut sources: Vec<Box<dyn HarvestSource>> = vec![
+            Box::new(SolarSource::new(Power::from_milliwatts(0.8), Seconds::new(2000.0), 0.3, 7)),
+            Box::new(MarkovSource::new(
+                Power::from_milliwatts(0.5),
+                Seconds::new(20.0),
+                Seconds::new(40.0),
+                9,
+            )),
+            Box::new(RfidSource::typical(3)),
+            Box::new(PiecewiseSource::new(
+                vec![
+                    (Seconds::new(0.0), Power::from_milliwatts(0.2)),
+                    (Seconds::new(5.0), Power::from_milliwatts(0.9)),
+                ],
+                true,
+                Seconds::new(12.0),
+            )),
+        ];
+        for source in &mut sources {
+            let bound = source.power_bound().expect("these sources all have bounds");
+            for i in 0..10_000_u64 {
+                let p = source.power_at(Seconds::new(i as f64 * dt));
+                assert!(p <= bound, "{} exceeded its bound at tick {i}", source.describe());
+            }
+        }
     }
 
     #[test]

@@ -10,15 +10,66 @@
 //!   into column vectors — states, `Reg_Flag`s, RNG streams, timers,
 //!   in-flight operations, flags, statistics — so lane gather/scatter and
 //!   diagnostics walk contiguous memory;
-//! * the capacitor columns live in an [`ehsim::bank::CapacitorBank`];
-//!   [`BatchExecutor::zones`] assembles an [`ehsim::pmu::ThresholdBank`] on
-//!   demand for the batched PMU zone classification;
+//! * the capacitor columns live in an [`ehsim::bank::CapacitorBank`]; the
+//!   per-lane threshold columns are mirrored into an
+//!   [`ehsim::pmu::ThresholdBank`] kept in sync on refill, so
+//!   [`BatchExecutor::zones`] classifies into a reused scratch buffer
+//!   without rebuilding anything;
 //! * [`BatchExecutor`] owns the banks plus a scenario queue: it advances all
 //!   live lanes in lockstep blocks of `dt` ticks (each lane's state hoisted
 //!   out of the columns into registers for the duration of a block, exactly
 //!   like the scalar executor's loop, then scattered back), retires lanes
 //!   whose lifetime is over, and refills free lanes from the queue — so
 //!   ragged durations never stall the bank.
+//!
+//! # Event-horizon fast-forwarding
+//!
+//! Most ticks of an intermittent lifetime decide nothing: the node sleeps
+//! (or lies dead) while the capacitor slowly charges or drains, far from
+//! every threshold, with the sampling timer minutes away.  After each
+//! full-fidelity tick landing in `Sleep` or `Off`, the executor opens a
+//! *quiescent stretch* bounded by two independently safe horizons:
+//!
+//! 1. **timer** — an idle-Sleep stretch ends strictly before the next
+//!    [`TimerInterrupt::next_fire`] (a fire can raise the sensing flag, so
+//!    the firing tick must run in full).  The deadline is tracked as an
+//!    integer tick lower bound (`nf_tick`): fires and defers only push the
+//!    deadline later, so the bound is refreshed — one division — only when
+//!    an executed tick reaches it.  `Off` lanes and Sleep lanes with a
+//!    pending request run straight through fires; the skipped re-arms are
+//!    replayed bit-exactly when the stretch closes.
+//! 2. **thresholds** — `fsm::LaneState::quiescent_distance` gives the
+//!    distance from the stored energy to the nearest threshold whose
+//!    crossing could alter control flow.  The stretch maintains a running
+//!    lower bound on that distance, spending it per tick and re-deriving it
+//!    from the live energy when it no longer provably covers the next tick
+//!    — never guessing past it.
+//!
+//! Inside a stretch every accumulator the per-tick arithmetic touches is
+//! hoisted into a register, and ticks are burnt by a two-tier loop:
+//!
+//! * **steady windows** — where [`HarvestSource::steady_ticks`] proves the
+//!   source repeats the current sample bit-exactly with no internal state
+//!   to advance (segment plateaus, Markov dwells, solar nights), whole
+//!   windows are burnt without querying the source at all: corridor
+//!   proofs (no clip at the capacity, no saturation at zero) select a
+//!   specialised loop running *exactly the per-tick arithmetic sequence*
+//!   of the scalar executor, and [`HarvestSource::skip_ticks`] replays
+//!   whatever randomness the skipped queries would have drawn.  A probe
+//!   credit — each probe spends one, each burnt window earns them back —
+//!   stops re-probing sources that alternate faster than a window pays.
+//! * **checked ticks** — otherwise the source is queried every tick in
+//!   scalar order (stochastic draws advance its RNG), and the tick is
+//!   burnt with the FSM checks still hoisted as long as the distance
+//!   budget covers the sample's *actual* energy move.  When it no longer
+//!   does, the drawn sample is handed to the full-fidelity path through
+//!   `pending`, so the query — and the RNG advance behind it — happens
+//!   exactly once per tick.
+//!
+//! The timer poll, threshold comparisons, safe-zone bookkeeping and FSM
+//! dispatch are hoisted out of both tiers (each proven a no-op for the
+//! stretch).  [`BatchTelemetry`] counts total, fast-forwarded, steady and
+//! horizon-recompute ticks so the win is measurable.
 //!
 //! # Why the batch is bit-identical to the scalar path
 //!
@@ -34,12 +85,17 @@
 //! same argument covers retirement and refill: a freshly filled lane starts
 //! from the same boot state (`fsm::LaneState::boot`) with its own seeded
 //! RNG, exactly as a fresh scalar executor would, and its neighbours'
-//! columns are untouched.
+//! columns are untouched.  Fast-forwarded ticks preserve the argument
+//! tick for tick: they run the same floating-point sequence on the same
+//! values (the hoisted checks are pure reads whose outcomes are proven
+//! constant over the window, and skipped source queries are covered by the
+//! [`HarvestSource::steady_ticks`] contract), so not a single bit of lane
+//! state can differ from the naive per-tick loop.
 
 use std::collections::VecDeque;
 
 use ehsim::bank::CapacitorBank;
-use ehsim::capacitor::Capacitor;
+use ehsim::capacitor::{Capacitor, EnergyCell};
 use ehsim::pmu::{OperatingZone, ThresholdBank};
 use ehsim::source::HarvestSource;
 use rand::rngs::StdRng;
@@ -260,6 +316,7 @@ pub struct BatchExecutor<S> {
     // Lane columns (all indexed by lane).
     caps: CapacitorBank,
     fsm: FsmBank,
+    thresholds: ThresholdBank,
     sources: Vec<Option<S>>,
     job_ids: Vec<usize>,
     step_index: Vec<u64>,
@@ -268,7 +325,43 @@ pub struct BatchExecutor<S> {
     harvested: Vec<Energy>,
     clipped: Vec<Energy>,
     consumed: Vec<Energy>,
+    // Free-slot stack: retired lane indices awaiting refill, so claiming a
+    // slot is O(1) instead of an O(width) scan.
+    free_lanes: Vec<usize>,
+    zone_scratch: Vec<OperatingZone>,
+    telemetry: BatchTelemetry,
     live: usize,
+}
+
+/// Tick-level counters of one [`BatchExecutor`]: how much of the simulated
+/// time was burnt through the event-horizon fast path (see the module docs)
+/// versus stepped in full.  Cumulative over the executor's lifetime,
+/// including reuse across [`BatchExecutor::run_to_completion`] calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchTelemetry {
+    /// Ticks executed in total (fast and full-fidelity alike).
+    pub ticks_total: u64,
+    /// Ticks executed by the branch-free fast-forward loops.
+    pub ticks_fast_forwarded: u64,
+    /// Times a quiescent horizon was computed (each full-fidelity tick in a
+    /// fast-forwardable state recomputes the bound — it is never guessed
+    /// past its expiry).
+    pub horizon_recomputes: u64,
+    /// Fast ticks burned by the steady tier (source queries skipped
+    /// wholesale) — the rest of [`Self::ticks_fast_forwarded`] went through
+    /// the checked tier, which still samples the source every tick.
+    pub ticks_steady: u64,
+}
+
+impl BatchTelemetry {
+    /// Fraction of all ticks taken via fast-forward, in `0.0..=1.0`.
+    #[must_use]
+    pub fn fast_forward_fraction(&self) -> f64 {
+        if self.ticks_total == 0 {
+            return 0.0;
+        }
+        self.ticks_fast_forwarded as f64 / self.ticks_total as f64
+    }
 }
 
 /// Ticks one lane advances per lockstep block in
@@ -278,6 +371,11 @@ pub struct BatchExecutor<S> {
 /// costs nothing on the per-step scale, and longer lifetimes still
 /// interleave, retire and refill at block granularity.
 const BLOCK_TICKS: u64 = 4096;
+
+/// Smallest proven-steady window worth entering the window burn for: below
+/// this the per-window setup (budget fit, corridor proofs, `skip_ticks`)
+/// costs more than the checked ticks it replaces.
+const MIN_WINDOW: u64 = 3;
 
 impl<S: HarvestSource> BatchExecutor<S> {
     /// An executor stepping at most `width` lanes in lockstep (at least
@@ -293,6 +391,7 @@ impl<S: HarvestSource> BatchExecutor<S> {
             retired_sources: Vec::new(),
             caps: CapacitorBank::with_capacity(width),
             fsm: FsmBank::with_capacity(width),
+            thresholds: ThresholdBank::with_capacity(width),
             sources: Vec::with_capacity(width),
             job_ids: Vec::with_capacity(width),
             step_index: Vec::with_capacity(width),
@@ -301,8 +400,17 @@ impl<S: HarvestSource> BatchExecutor<S> {
             harvested: Vec::with_capacity(width),
             clipped: Vec::with_capacity(width),
             consumed: Vec::with_capacity(width),
+            free_lanes: Vec::with_capacity(width),
+            zone_scratch: Vec::with_capacity(width),
+            telemetry: BatchTelemetry::default(),
             live: 0,
         }
+    }
+
+    /// The executor's cumulative fast-forward telemetry.
+    #[must_use]
+    pub fn telemetry(&self) -> BatchTelemetry {
+        self.telemetry
     }
 
     /// The configured lane count.
@@ -347,19 +455,15 @@ impl<S: HarvestSource> BatchExecutor<S> {
 
     /// Classifies every lane's stored energy against its own thresholds —
     /// the batched PMU comparison ([`ThresholdBank::zones_into`]).  The
-    /// threshold columns are assembled on demand from the lane configs (the
-    /// simulation's single source of truth), so there is no per-refill
-    /// bookkeeping to keep in sync.  Entries of idle lanes reflect their
-    /// last simulated state.
-    #[must_use]
-    pub fn zones(&self) -> Vec<OperatingZone> {
-        let mut thresholds = ThresholdBank::with_capacity(self.sources.len());
-        for lane in 0..self.sources.len() {
-            thresholds.push(&self.fsm.config(lane).thresholds);
-        }
-        let mut zones = vec![OperatingZone::Off; thresholds.len()];
-        thresholds.zones_into(self.caps.energies(), &mut zones);
-        zones
+    /// threshold columns are kept in sync with the lane configs on every
+    /// refill and the classification reuses one scratch buffer, so the
+    /// diagnostic allocates nothing after warm-up.  Entries of idle lanes
+    /// reflect their last simulated state.
+    pub fn zones(&mut self) -> &[OperatingZone] {
+        self.zone_scratch.clear();
+        self.zone_scratch.resize(self.thresholds.len(), OperatingZone::Off);
+        self.thresholds.zones_into(self.caps.energies(), &mut self.zone_scratch);
+        &self.zone_scratch
     }
 
     /// Hands back the harvest sources of retired lanes, so callers can
@@ -378,14 +482,15 @@ impl<S: HarvestSource> BatchExecutor<S> {
             // cannot smuggle a degenerate grid past `BatchJob::new`.
             assert!(job.dt.value() > 0.0, "time step must be positive");
             let steps = job.steps();
-            // Find a free slot or append a new lane.
-            let lane = (0..self.sources.len()).find(|&l| self.sources[l].is_none());
             let leak = job.config.sleep_leakage;
+            let thresholds = job.config.thresholds;
             let fsm = NodeFsm::new(job.config);
-            match lane {
+            // Claim a retired slot off the free stack — O(1) — or append.
+            let lane = match self.free_lanes.pop() {
                 Some(lane) => {
                     self.caps.reset_lane(lane, &job.capacitor, leak);
                     self.fsm.reset_lane(lane, fsm);
+                    self.thresholds.reset_lane(lane, &thresholds);
                     self.sources[lane] = Some(job.source);
                     self.job_ids[lane] = id;
                     self.step_index[lane] = 0;
@@ -394,10 +499,12 @@ impl<S: HarvestSource> BatchExecutor<S> {
                     self.harvested[lane] = Energy::ZERO;
                     self.clipped[lane] = Energy::ZERO;
                     self.consumed[lane] = Energy::ZERO;
+                    lane
                 }
                 None => {
                     self.caps.push(&job.capacitor, leak);
                     self.fsm.push(fsm);
+                    self.thresholds.push(&thresholds);
                     self.sources.push(Some(job.source));
                     self.job_ids.push(id);
                     self.step_index.push(0);
@@ -406,11 +513,11 @@ impl<S: HarvestSource> BatchExecutor<S> {
                     self.harvested.push(Energy::ZERO);
                     self.clipped.push(Energy::ZERO);
                     self.consumed.push(Energy::ZERO);
+                    self.sources.len() - 1
                 }
-            }
+            };
             self.live += 1;
             if steps == 0 {
-                let lane = lane.unwrap_or(self.sources.len() - 1);
                 self.retire(lane);
             }
         }
@@ -428,6 +535,7 @@ impl<S: HarvestSource> BatchExecutor<S> {
         if let Some(source) = self.sources[lane].take() {
             self.retired_sources.push(source);
         }
+        self.free_lanes.push(lane);
         self.live -= 1;
     }
 
@@ -460,43 +568,336 @@ impl<S: HarvestSource> BatchExecutor<S> {
 
     /// Runs one lane for up to `ticks` steps (bounded by its remaining
     /// lifetime), retiring it if the lifetime completes.
+    ///
+    /// The loop alternates full-fidelity ticks with event-horizon stretches
+    /// (see the module docs): after every full tick that leaves the lane in
+    /// Sleep or Off it derives the quiescent threshold distance and burns
+    /// ticks with the dispatch/timer/threshold/safe-zone checks hoisted out,
+    /// executing exactly the per-tick arithmetic — a *steady* tier reuses the
+    /// last sample while the source vouches for it, and a *checked* tier
+    /// keeps querying the source each tick but skips the FSM.  Both tiers
+    /// stay bit-identical to the naive per-tick loop by construction: every
+    /// skipped comparison is proven to be a no-op before it is skipped, and
+    /// every arithmetic shortcut is proven to produce the very bits the
+    /// clamped expressions would.
+    // `!(x > y)` instead of `x <= y` throughout: the negation sends NaN to
+    // the conservative slow path, which the positive comparison would not.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     fn advance_lane_block(&mut self, lane: usize, ticks: u64) {
         let Some(mut source) = self.sources[lane].take() else { return };
         let dt = self.dts[lane];
+        let dt_s = dt.as_seconds();
         let start = self.step_index[lane];
         let end = (start + ticks).min(self.steps_total[lane]);
-        // Gather the lane into locals.
-        let mut cap = self.caps.lane(lane);
+        // Gather the lane into locals.  The stored energy lives in a plain
+        // local for the whole block; full-fidelity ticks borrow it through
+        // the shared `EnergyCell` arithmetic.
+        let cap = self.caps.lane(lane);
+        let mut energy = cap.energy();
+        let e_max = cap.max_energy();
+        let e_max_v = e_max.value();
         let mut state = self.fsm.take_lane(lane);
         let mut harvested = self.harvested[lane];
         let mut clipped = self.clipped[lane];
         let mut consumed = self.consumed[lane];
         let config = self.fsm.config(lane);
+        // Worst-case per-tick drain of the fast path: Sleep only leaks,
+        // Off does not even do that.
+        let leak_step = config.sleep_leakage.max(Power::ZERO) * dt;
+        let ls = leak_step.value();
+        let mut fast = 0_u64;
+        let mut steady = 0_u64;
+        let mut recomputes = 0_u64;
 
-        for i in start..end {
+        let mut i = start;
+        // Absolute index of the earliest tick whose poll can fire the timer
+        // — a conservative lower bound maintained across the block (fires
+        // and defers only ever push the deadline later), so stretch caps and
+        // the re-arm replay guard are integer compares instead of divisions.
+        let mut nf_tick =
+            start + ticks_before_fire(start, dt_s, state.timer.next_fire().as_seconds());
+        // A sample the checked tier already drew for tick `i` before finding
+        // it could not prove the tick quiescent: the full-fidelity tick
+        // consumes it instead of querying twice (the RNG stream advances
+        // exactly once per tick, as in the scalar loop).
+        let mut pending: Option<Power> = None;
+        while i < end {
             // The scalar executor's per-step body, verbatim (see
             // `IntermittentExecutor::run_with_sink`): the FSM transition —
             // time accounting and leakage included — is the one shared
             // `FsmLaneMut::step`.
-            let now = Seconds::new(i as f64 * dt.as_seconds());
-            let power = source.power_at(now);
-            let before = cap.energy();
+            let now = Seconds::new(i as f64 * dt_s);
+            let power = match pending.take() {
+                Some(p) => p,
+                None => source.power_at(now),
+            };
+            let before = energy;
             let offered = power.max(Power::ZERO) * dt;
-            let banked = cap.harvest(power, dt);
+            let banked = EnergyCell::from_parts(&mut energy, e_max).harvest(power, dt);
             harvested += banked;
             clipped += offered - banked;
-            state.as_lane_mut(config).step(&mut cap.cell(), now, dt);
-            consumed += (before + banked - cap.energy()).max(Energy::ZERO);
+            state.as_lane_mut(config).step(
+                &mut EnergyCell::from_parts(&mut energy, e_max),
+                now,
+                dt,
+            );
+            consumed += (before + banked - energy).max(Energy::ZERO);
+            i += 1;
+            if i > nf_tick {
+                // The tick just executed polled at or past the deadline and
+                // re-armed (or a defer pushed it out): re-derive the bound.
+                nf_tick = i + ticks_before_fire(i, dt_s, state.timer.next_fire().as_seconds());
+            }
+
+            // Event-horizon attempt: only Sleep and Off are quiescent
+            // candidates.
+            if i >= end || !matches!(state.state, NodeState::Sleep | NodeState::Off) {
+                continue;
+            }
+            let Some(d0) = state.quiescent_distance(config, energy) else { continue };
+            recomputes += 1;
+            // Running lower bound on the distance to the nearest
+            // control-flow threshold: starts exact (less a margin dominating
+            // the accumulated rounding), shrinks by worst-case or actual
+            // per-tick moves, and is re-derived from the live energy when it
+            // no longer covers the next step — executing a tick only while
+            // the budget covers it proves every hoisted comparison lands
+            // strictly on its current side.  (`!(x > y)` instead of
+            // `x <= y` so NaNs fall to the slow path.)
+            let mut dist = d0.value() - 1e-12;
+            if !(dist > 0.0) {
+                continue;
+            }
+            let in_off = state.state == NodeState::Off;
+            let node_state = state.state;
+            // A timer fire only changes control flow when it can set the
+            // sensing flag — idle Sleep.  Off lanes and Sleep lanes with a
+            // request already pending run straight through fires
+            // (`TimerInterrupt::poll` then merely re-arms), and the re-arms
+            // are replayed bit-exactly after the stretch.
+            let idle_sleep = !in_off && state.reg_flag.is_idle();
+            let stretch_end = if idle_sleep { nf_tick.min(end) } else { end };
+            if stretch_end <= i {
+                continue;
+            }
+
+            // Hoist the loop-constant accumulators into raw locals: the
+            // burned ticks perform the exact same sequence of f64 additions
+            // `RunStats::add_time` and the `EnergyCell` ops would.
+            let mut t_state = *state.stats.time_slot_mut(node_state);
+            let mut t_total = state.stats.total_time;
+            let mut e = energy.value();
+            let mut hv = harvested.value();
+            let mut cl = clipped.value();
+            let mut co = consumed.value();
+            let mut last_power = power;
+            let burn_start = i;
+
+            // Ticks left of the last positive steady probe: a suffix of a
+            // steady window is itself steady (same constant sample, still no
+            // source state to advance), so the window is consumed
+            // incrementally instead of re-proved every chunk.
+            let mut avail_left = 0_u64;
+            // Probe budget: each probe spends a credit, each burned window
+            // earns them back.  Sources whose windows keep paying (constant,
+            // Markov dwells, solar nights) probe indefinitely; one that
+            // alternates faster than a window pays for (an RFID burst a
+            // couple of ticks long) stops probing after a bounded spend and
+            // runs pure checked ticks for the rest of the stretch.
+            let mut probe_credit = 4_u64;
+            while i < stretch_end {
+                if avail_left == 0 && probe_credit > 0 {
+                    probe_credit -= 1;
+                    avail_left = source.steady_ticks(i - 1, dt);
+                }
+                let avail = avail_left.min(stretch_end - i);
+                if avail >= MIN_WINDOW {
+                    // Steady tier: the source repeats the last sample
+                    // bit-exactly, so the queries are skipped wholesale.
+                    // The per-tick net move is `banked - leaked`, whose
+                    // magnitude `max(offered, leak_step)` bounds the
+                    // threshold-distance spend.
+                    let offered = last_power.value().max(0.0) * dt_s;
+                    let step_mag = if in_off { offered } else { offered.max(ls) };
+                    // Common case: the whole window fits the budget with the
+                    // same inflation margin the corridor check uses — one
+                    // multiply instead of `ticks_within`'s divide.
+                    let mut h = if (avail as f64) * step_mag * (1.0 + 1e-6) < dist {
+                        avail
+                    } else {
+                        avail.min(ticks_within(dist, step_mag))
+                    };
+                    if h == 0 {
+                        // Self-heal: the budget shrank by worst-case bounds;
+                        // re-derive it from the live energy (the FSM state is
+                        // unchanged inside a stretch).
+                        let Some(d) = state.quiescent_distance(config, Energy::new(e)) else {
+                            break;
+                        };
+                        recomputes += 1;
+                        dist = d.value() - 1e-12;
+                        h = avail.min(ticks_within(dist, step_mag));
+                        if h == 0 {
+                            break;
+                        }
+                    }
+                    let span = h as f64 * step_mag * (1.0 + 1e-6);
+                    // Corridor proofs: while the energy provably stays below
+                    // the clip ceiling and above the drain floor, the
+                    // `EnergyCell` clamps cannot bind and the same bits come
+                    // from the unclamped expressions.
+                    let no_clip = span + offered < e_max_v - e;
+                    let no_sat = in_off || span < e - ls;
+                    if no_clip && no_sat {
+                        if in_off {
+                            if offered == 0.0 {
+                                // Nothing moves: harvest banks +0, there is
+                                // no leak, and every accumulator add is an
+                                // exact identity — only time advances.
+                                for _ in 0..h {
+                                    t_state += dt;
+                                    t_total += dt;
+                                }
+                            } else {
+                                for _ in 0..h {
+                                    e += offered;
+                                    hv += offered;
+                                    t_state += dt;
+                                    t_total += dt;
+                                }
+                            }
+                        } else if offered == 0.0 {
+                            for _ in 0..h {
+                                let before = e;
+                                e -= ls;
+                                co += (before - e).max(0.0);
+                                t_state += dt;
+                                t_total += dt;
+                            }
+                        } else {
+                            for _ in 0..h {
+                                let e1 = e + offered;
+                                let after = e1 - ls;
+                                hv += offered;
+                                co += (e1 - after).max(0.0);
+                                t_state += dt;
+                                t_total += dt;
+                                e = after;
+                            }
+                        }
+                    } else {
+                        // A clamp may bind: run the exact clamped arithmetic,
+                        // watching for the fixed point constant-power lanes
+                        // settle into (a capacitor pinned at its capacity
+                        // repeats one tick's values verbatim).
+                        let mut k = 0_u64;
+                        while k < h {
+                            let before = e;
+                            let banked = offered.min(e_max_v - e).max(0.0);
+                            let e1 = e + banked;
+                            let after = if in_off { e1 } else { e1 - ls.max(0.0).min(e1) };
+                            hv += banked;
+                            cl += offered - banked;
+                            let d_co = (e1 - after).max(0.0);
+                            co += d_co;
+                            t_state += dt;
+                            t_total += dt;
+                            e = after;
+                            k += 1;
+                            if e == before {
+                                // Fixed point: every remaining tick of the
+                                // chunk repeats these exact values.
+                                let d_cl = offered - banked;
+                                while k < h {
+                                    hv += banked;
+                                    cl += d_cl;
+                                    co += d_co;
+                                    t_state += dt;
+                                    t_total += dt;
+                                    k += 1;
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    dist -= h as f64 * step_mag;
+                    source.skip_ticks(i - 1, h, dt);
+                    avail_left -= h;
+                    probe_credit += h;
+                    steady += h;
+                    fast += h;
+                    i += h;
+                } else {
+                    // Checked tier: the source must be queried every tick
+                    // (stochastic draws advance its RNG), but the FSM checks
+                    // stay hoisted while the distance budget covers this
+                    // tick's *actual* move — the sample is drawn first, in
+                    // scalar order, so the bound is `max(offered, leak)`
+                    // rather than the source's worst case.
+                    let power = source.power_at(Seconds::new(i as f64 * dt_s));
+                    let incoming = power.value().max(0.0) * dt_s;
+                    let move_bound = incoming.max(ls);
+                    if !(dist > move_bound) {
+                        // Self-heal from the live energy before giving up.
+                        let healed = state.quiescent_distance(config, Energy::new(e));
+                        recomputes += 1;
+                        dist = healed.map_or(f64::NEG_INFINITY, |d| d.value() - 1e-12);
+                        if !(dist > move_bound) {
+                            // This tick's checks cannot be proven no-ops:
+                            // hand the drawn sample to the full-fidelity
+                            // path.
+                            pending = Some(power);
+                            break;
+                        }
+                    }
+                    let banked = incoming.min(e_max_v - e).max(0.0);
+                    let e1 = e + banked;
+                    let after = if in_off { e1 } else { e1 - ls.max(0.0).min(e1) };
+                    hv += banked;
+                    cl += incoming - banked;
+                    co += (e1 - after).max(0.0);
+                    t_state += dt;
+                    t_total += dt;
+                    dist -= (after - e).abs();
+                    e = after;
+                    last_power = power;
+                    // The executed tick consumed the head of any remaining
+                    // proven window (a suffix of a steady window is steady),
+                    // so the next exhaustion re-probes at the right tick.
+                    avail_left = avail_left.saturating_sub(1);
+                    fast += 1;
+                    i += 1;
+                }
+            }
+
+            // Scatter the stretch locals back.
+            energy = Energy::new(e);
+            harvested = Energy::new(hv);
+            clipped = Energy::new(cl);
+            consumed = Energy::new(co);
+            *state.stats.time_slot_mut(node_state) = t_state;
+            state.stats.total_time = t_total;
+            if !idle_sleep && i > nf_tick {
+                // Burned ticks crossed the (lower-bound) deadline: replay the
+                // exact re-arms those skipped polls would have performed,
+                // then re-derive the bound from the new deadline.
+                replay_timer_rearms(&mut state.timer, burn_start, i, dt_s);
+                nf_tick = i + ticks_before_fire(i, dt_s, state.timer.next_fire().as_seconds());
+            }
         }
 
         // Scatter the lane back into the columns.
-        self.caps.set_energy(lane, cap.energy());
+        self.caps.set_energy(lane, energy);
         self.fsm.put_lane(lane, state);
         self.sources[lane] = Some(source);
         self.harvested[lane] = harvested;
         self.clipped[lane] = clipped;
         self.consumed[lane] = consumed;
         self.step_index[lane] = end;
+        self.telemetry.ticks_total += end - start;
+        self.telemetry.ticks_fast_forwarded += fast;
+        self.telemetry.horizon_recomputes += recomputes;
+        self.telemetry.ticks_steady += steady;
         if end >= self.steps_total[lane] {
             self.retire(lane);
         }
@@ -512,6 +913,80 @@ impl<S: HarvestSource> BatchExecutor<S> {
             .map(|slot| slot.expect("every enqueued job retires with statistics"))
             .collect()
     }
+}
+
+/// How many ticks the lane energy can take per-tick steps of magnitude at
+/// most `step` without ever travelling `distance` (a budget the caller has
+/// already given its absolute floating-point haircut) — a conservative
+/// floor(distance / step) with a relative `1e-6` margin that dominates the
+/// accumulated rounding of up to [`BLOCK_TICKS`] sequential energy updates
+/// (≈ 2.9e-14 J at paper scales — ten orders of magnitude inside the
+/// margin).  Underestimating a horizon costs a few slow ticks;
+/// overestimating one would break bit-identity, so every rounding here is
+/// chosen to shrink the answer.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fall to the 0 branch
+fn ticks_within(distance: f64, step: f64) -> u64 {
+    if !(distance > 0.0) {
+        return 0;
+    }
+    if step <= 0.0 {
+        // The energy provably cannot move: the horizon is unbounded and the
+        // caller's window (lifetime, timer, block) is the binding constraint.
+        return u64::MAX;
+    }
+    let ratio = distance / step * (1.0 - 1e-6);
+    if ratio >= 1.0 {
+        // `as` saturates at u64::MAX for huge ratios.
+        ratio as u64
+    } else {
+        0
+    }
+}
+
+/// Replays, bit-exactly, the [`TimerInterrupt::poll`] re-arms a lane would
+/// have performed over the fast-forwarded ticks `from..to`.  Only called for
+/// stretches in which every fire is provably a no-op apart from the re-arm
+/// itself: the lane is Off, or asleep with a sensing request already pending,
+/// so the `poll` in `step_after_leakage` can never set the flag.
+fn replay_timer_rearms(timer: &mut TimerInterrupt, mut from: u64, to: u64, dt_s: f64) {
+    let period = timer.period();
+    loop {
+        let next = timer.next_fire().as_seconds();
+        let fire = from.saturating_add(ticks_before_fire(from, dt_s, next));
+        if fire >= to {
+            return;
+        }
+        if period.as_seconds() <= 0.0 {
+            // A non-positive period fires on every remaining tick; the last
+            // burned tick's re-arm is the one that survives.
+            timer.set_next_fire(Seconds::new((to - 1) as f64 * dt_s) + period);
+            return;
+        }
+        timer.set_next_fire(Seconds::new(fire as f64 * dt_s) + period);
+        from = fire + 1;
+    }
+}
+
+/// How many consecutive ticks starting at `first` satisfy
+/// `tick as f64 * dt_s < next_fire` — i.e. are guaranteed no-ops for a timer
+/// whose next fire is at `next_fire`.
+///
+/// A float estimate seeds the count and a decrement loop re-verifies the
+/// *last* tick of the window with the exact comparison `TimerInterrupt::poll`
+/// performs (`now >= next_fire` on `tick as f64 * dt_s`).  Because
+/// `t ↦ t·dt` is monotone, the final tick passing the exact test proves every
+/// earlier tick passes it too, so the window is sound regardless of how the
+/// estimate rounded.
+fn ticks_before_fire(first: u64, dt_s: f64, next_fire: f64) -> u64 {
+    let est = (next_fire / dt_s) - first as f64;
+    if !est.is_finite() || est <= 0.0 {
+        return 0;
+    }
+    let mut h = est.ceil() as u64;
+    while h > 0 && (first + h - 1) as f64 * dt_s >= next_fire {
+        h -= 1;
+    }
+    h
 }
 
 #[cfg(test)]
@@ -655,13 +1130,83 @@ mod tests {
         }
         assert_eq!(batch.live_lanes(), 2);
         assert_eq!(batch.queued(), 0);
-        let zones = batch.zones();
+        let zones = batch.zones().to_vec();
         for (lane, zone) in zones.iter().enumerate() {
             let config = batch.fsm().config(lane);
             let expected = config.thresholds.zone(batch.caps.energy(lane));
             assert_eq!(*zone, expected, "lane {lane}");
         }
         let _ = batch.run_to_completion();
+    }
+
+    #[test]
+    fn fast_forwarding_fires_and_reports_telemetry() {
+        // A modest constant trickle keeps the node asleep between samples —
+        // the canonical quiescent workload — so the steady tier must engage.
+        let mut batch = BatchExecutor::new(4);
+        for seed in 0..4_u64 {
+            batch.enqueue(BatchJob::new(
+                FsmConfig::paper_default().with_seed(seed),
+                ConstantSource::new(Power::from_milliwatts(0.1)),
+                Seconds::new(1500.0),
+                Seconds::new(0.5),
+            ));
+        }
+        let stats = batch.run_to_completion();
+        let telemetry = batch.telemetry();
+        assert_eq!(telemetry.ticks_total, 4 * 3000);
+        assert!(telemetry.ticks_fast_forwarded > 0, "{telemetry:?}");
+        assert!(telemetry.horizon_recomputes > 0, "{telemetry:?}");
+        assert!(telemetry.ticks_fast_forwarded <= telemetry.ticks_total);
+        assert!(telemetry.fast_forward_fraction() > 0.5, "{telemetry:?}");
+        // Fast-forwarding must not have cost bit-identity.
+        for (seed, stats) in stats.iter().enumerate() {
+            let mut scalar = IntermittentExecutor::with_source(
+                FsmConfig::paper_default().with_seed(seed as u64),
+                ConstantSource::new(Power::from_milliwatts(0.1)),
+            );
+            assert_eq!(*stats, scalar.run(Seconds::new(1500.0), Seconds::new(0.5)));
+        }
+    }
+
+    #[test]
+    fn ticks_within_never_reaches_the_distance() {
+        let d = Energy::from_millijoules(2.0).value();
+        let m = Energy::from_microjoules(10.0).value();
+        let h = ticks_within(d, m);
+        assert!(h > 0);
+        // h per-tick steps stay strictly inside the distance…
+        assert!(m * (h as f64) < d);
+        // …and the bound is not absurdly loose.
+        assert!(h >= 190, "h = {h}");
+        assert_eq!(ticks_within(0.0, m), 0);
+        assert_eq!(ticks_within(-1.0, m), 0);
+        assert_eq!(ticks_within(d, 0.0), u64::MAX);
+        assert_eq!(ticks_within(f64::NAN, m), 0);
+        // A distance smaller than one step yields no window.
+        assert_eq!(ticks_within(Energy::from_microjoules(5.0).value(), m), 0);
+    }
+
+    #[test]
+    fn ticks_before_fire_excludes_the_firing_tick() {
+        // Paper shape: dt = 0.5 s, timer fires at t = 30 s (tick 60).
+        assert_eq!(ticks_before_fire(1, 0.5, 30.0), 59);
+        // Starting right after the tick-60 fire (re-armed to t = 60 s =
+        // tick 120): ticks 61..=119 are no-ops, tick 120 fires.
+        assert_eq!(ticks_before_fire(61, 0.5, 60.0), 59);
+        // A fire at or before the first tick yields no window at all.
+        assert_eq!(ticks_before_fire(61, 0.5, 30.5), 0);
+        assert_eq!(ticks_before_fire(61, 0.5, 30.0), 0);
+        // The last tick of every window must satisfy the exact poll test.
+        for first in [1_u64, 7, 59, 60, 100_000] {
+            for next_fire in [0.0, 3.5, 30.0, 49_999.75, 50_000.0] {
+                let h = ticks_before_fire(first, 0.25, next_fire);
+                if h > 0 && h < u64::MAX {
+                    assert!(((first + h - 1) as f64) * 0.25 < next_fire);
+                    assert!(((first + h) as f64) * 0.25 >= next_fire);
+                }
+            }
+        }
     }
 
     #[test]

@@ -185,6 +185,62 @@ impl LaneState {
         }
     }
 
+    /// How far `energy` can drift — in either direction — before *any*
+    /// control-flow decision of [`FsmLaneMut::step`] could change for this
+    /// lane, or `None` if the lane is in a state that must be stepped in
+    /// full every tick.
+    ///
+    /// Only Sleep and Off qualify: there, as long as the stored energy stays
+    /// strictly within the returned distance of its current value (and the
+    /// timer interrupt does not fire — the caller bounds that separately via
+    /// [`TimerInterrupt::next_fire`]), a step is provably a pure
+    /// time-accounting + leakage + harvest tick: every threshold comparison
+    /// keeps its current verdict, no state transition, flag flip, RNG draw
+    /// or statistics event can occur.  The distances mirror the comparisons
+    /// of `step_after_leakage`/`step_sleep`/`step_off` one for one:
+    ///
+    /// * Sleep — stay on the current side of `Th_SafeZone` (dip bookkeeping),
+    ///   at or above `Th_Off` (death) and `Th_Bk` (forced backup, unless
+    ///   already backed up), and at or below the operation threshold armed by
+    ///   `Reg_Flag` (operations start on a strict `>`).
+    /// * Off — stay below `Th_Sense` (recovery) and, while in a dip, below
+    ///   `Th_SafeZone` (dip exit is counted in every state).
+    ///
+    /// A non-positive distance means a comparison is exactly at its boundary
+    /// and the next tick must run in full; the caller treats it as a zero
+    /// horizon.
+    pub(crate) fn quiescent_distance(&self, config: &FsmConfig, energy: Energy) -> Option<Energy> {
+        let th = &config.thresholds;
+        let mut d = Energy::new(f64::INFINITY);
+        match self.state {
+            NodeState::Sleep => {
+                d = if self.flags.in_safe_zone_dip {
+                    d.min(th.safe_zone - energy)
+                } else {
+                    d.min(energy - th.safe_zone)
+                };
+                d = d.min(energy - th.off);
+                if !self.flags.backed_up {
+                    d = d.min(energy - th.backup);
+                }
+                match self.reg_flag {
+                    RegFlag::SENSE => d = d.min(th.sense - energy),
+                    RegFlag::COMPUTE => d = d.min(th.compute - energy),
+                    RegFlag::TRANSMIT => d = d.min(th.transmit - energy),
+                    _ => {}
+                }
+            }
+            NodeState::Off => {
+                if self.flags.in_safe_zone_dip {
+                    d = d.min(th.safe_zone - energy);
+                }
+                d = d.min(th.sense - energy);
+            }
+            _ => return None,
+        }
+        Some(d)
+    }
+
     /// Borrows this lane as the step view shared with the batch executor.
     pub(crate) fn as_lane_mut<'a>(&'a mut self, config: &'a FsmConfig) -> FsmLaneMut<'a> {
         FsmLaneMut {

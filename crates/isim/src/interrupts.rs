@@ -36,6 +36,25 @@ impl TimerInterrupt {
         self.period
     }
 
+    /// The earliest time at which [`Self::poll`] will next report a fire
+    /// (and re-arm itself).  Any `poll(now)` with `now < next_fire()` is a
+    /// no-op, which is what lets an executor skip those polls wholesale when
+    /// fast-forwarding across quiescent ticks.
+    #[must_use]
+    pub fn next_fire(&self) -> Seconds {
+        self.next_fire
+    }
+
+    /// Overwrites the next firing deadline.  Used by the batch executor to
+    /// replay the exact re-arms `poll` would have performed over a
+    /// fast-forwarded window in which every fire is provably a no-op (the
+    /// lane is Off, or asleep with a request already pending, so firing does
+    /// nothing but re-arm).  The caller must pass the bit-exact
+    /// `now + period` value `poll` itself would have stored.
+    pub(crate) fn set_next_fire(&mut self, next_fire: Seconds) {
+        self.next_fire = next_fire;
+    }
+
     /// Advances the timer to `now` and reports how many times it fired since
     /// the last call.  Missed deadlines are not accumulated beyond one
     /// pending fire (the node cannot sense faster than it wakes up), matching
@@ -88,6 +107,15 @@ mod tests {
         t.defer(Seconds::new(95.0));
         assert!(!t.poll(Seconds::new(100.0)));
         assert!(t.poll(Seconds::new(105.0)));
+    }
+
+    #[test]
+    fn next_fire_is_exactly_the_first_firing_poll() {
+        let mut t = TimerInterrupt::new(Seconds::new(10.0));
+        assert!((t.next_fire().as_seconds() - 10.0).abs() < 1e-12);
+        assert!(!t.poll(Seconds::new(9.999)));
+        assert!(t.poll(t.next_fire()));
+        assert!((t.next_fire().as_seconds() - 20.0).abs() < 1e-12);
     }
 
     #[test]

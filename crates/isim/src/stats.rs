@@ -54,6 +54,14 @@ impl RunStats {
         self.total_time += dt;
     }
 
+    /// Mutable access to the accumulator behind [`Self::time_in`].  Lets the
+    /// batch executor hoist the per-tick `add_time` of a fast-forwarded
+    /// window (whose state is constant) into a local, performing the exact
+    /// same sequence of additions.
+    pub(crate) fn time_slot_mut(&mut self, state: NodeState) -> &mut Seconds {
+        &mut self.time_in_state[state_index(state)]
+    }
+
     /// Fraction of the simulated time the node was actively sensing,
     /// computing, or transmitting.
     #[must_use]
@@ -99,7 +107,9 @@ impl RunStats {
 }
 
 fn state_index(state: NodeState) -> usize {
-    NodeState::ALL.iter().position(|&s| s == state).expect("state is in ALL")
+    // `NodeState::ALL` lists the variants in declaration order, so the
+    // discriminant *is* the position (pinned by `all_matches_discriminants`).
+    state as usize
 }
 
 impl fmt::Display for RunStats {
@@ -131,6 +141,13 @@ impl fmt::Display for RunStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn all_matches_discriminants() {
+        for (i, s) in NodeState::ALL.into_iter().enumerate() {
+            assert_eq!(state_index(s), i, "ALL order diverged from declaration order");
+        }
+    }
 
     #[test]
     fn time_accounting_adds_up() {

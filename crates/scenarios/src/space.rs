@@ -279,6 +279,36 @@ impl HarvestSource for AnySource {
             AnySource::Piecewise(s) => s.describe(),
         }
     }
+
+    fn steady_ticks(&mut self, tick: u64, dt: Seconds) -> u64 {
+        match self {
+            AnySource::Constant(s) => s.steady_ticks(tick, dt),
+            AnySource::Rfid(s) => s.steady_ticks(tick, dt),
+            AnySource::Solar(s) => s.steady_ticks(tick, dt),
+            AnySource::Markov(s) => s.steady_ticks(tick, dt),
+            AnySource::Piecewise(s) => s.steady_ticks(tick, dt),
+        }
+    }
+
+    fn skip_ticks(&mut self, from_tick: u64, skipped: u64, dt: Seconds) {
+        match self {
+            AnySource::Constant(s) => s.skip_ticks(from_tick, skipped, dt),
+            AnySource::Rfid(s) => s.skip_ticks(from_tick, skipped, dt),
+            AnySource::Solar(s) => s.skip_ticks(from_tick, skipped, dt),
+            AnySource::Markov(s) => s.skip_ticks(from_tick, skipped, dt),
+            AnySource::Piecewise(s) => s.skip_ticks(from_tick, skipped, dt),
+        }
+    }
+
+    fn power_bound(&self) -> Option<Power> {
+        match self {
+            AnySource::Constant(s) => s.power_bound(),
+            AnySource::Rfid(s) => s.power_bound(),
+            AnySource::Solar(s) => s.power_bound(),
+            AnySource::Markov(s) => s.power_bound(),
+            AnySource::Piecewise(s) => s.power_bound(),
+        }
+    }
 }
 
 /// The harvest source of one batch-executor lane: the same sample streams
@@ -317,6 +347,36 @@ impl HarvestSource for LaneSource {
             LaneSource::Solar(s) => s.describe(),
             LaneSource::Markov(s) => s.describe(),
             LaneSource::Piecewise(s) => s.describe(),
+        }
+    }
+
+    fn steady_ticks(&mut self, tick: u64, dt: Seconds) -> u64 {
+        match self {
+            LaneSource::Constant(s) => s.steady_ticks(tick, dt),
+            LaneSource::Rfid(s) => s.steady_ticks(tick, dt),
+            LaneSource::Solar(s) => s.steady_ticks(tick, dt),
+            LaneSource::Markov(s) => s.steady_ticks(tick, dt),
+            LaneSource::Piecewise(s) => s.steady_ticks(tick, dt),
+        }
+    }
+
+    fn skip_ticks(&mut self, from_tick: u64, skipped: u64, dt: Seconds) {
+        match self {
+            LaneSource::Constant(s) => s.skip_ticks(from_tick, skipped, dt),
+            LaneSource::Rfid(s) => s.skip_ticks(from_tick, skipped, dt),
+            LaneSource::Solar(s) => s.skip_ticks(from_tick, skipped, dt),
+            LaneSource::Markov(s) => s.skip_ticks(from_tick, skipped, dt),
+            LaneSource::Piecewise(s) => s.skip_ticks(from_tick, skipped, dt),
+        }
+    }
+
+    fn power_bound(&self) -> Option<Power> {
+        match self {
+            LaneSource::Constant(s) => s.power_bound(),
+            LaneSource::Rfid(s) => s.power_bound(),
+            LaneSource::Solar(s) => s.power_bound(),
+            LaneSource::Markov(s) => s.power_bound(),
+            LaneSource::Piecewise(s) => s.power_bound(),
         }
     }
 }

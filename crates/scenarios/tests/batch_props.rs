@@ -7,10 +7,13 @@
 
 use proptest::prelude::*;
 
+use ehsim::capacitor::Capacitor;
 use ehsim::pmu::Thresholds;
 use ehsim::schedule::Schedule;
-use isim::batch::BatchExecutor;
-use scenarios::space::{BackupSizing, SourceScratch, SourceSpec};
+use isim::batch::{BatchExecutor, BatchJob};
+use isim::executor::IntermittentExecutor;
+use isim::fsm::FsmConfig;
+use scenarios::space::{BackupSizing, ScenarioSpace, SourceScratch, SourceSpec};
 use scenarios::Scenario;
 use tech45::nvm::NvmTechnology;
 use tech45::units::{Energy, Power, Seconds};
@@ -107,4 +110,123 @@ proptest! {
             prop_assert_eq!(&scalar, batched, "scenario #{} diverged", scenario.id);
         }
     }
+}
+
+/// Sources picked to stress every fast-forward tier: zero power (the node
+/// drains into Off and stays — the longest possible horizons), a steady
+/// trickle, a full-beam constant, high-jitter RFID (cycle-bounded steady
+/// windows), stochastic solar/Markov (bounded tier only), and piecewise
+/// schedules whose segment boundaries cut horizons short.
+fn adversarial_source(index: usize) -> SourceSpec {
+    let mw = Power::from_milliwatts;
+    let s = Seconds::new;
+    match index % 8 {
+        0 => SourceSpec::Constant { power: Power::ZERO },
+        1 => SourceSpec::Constant { power: mw(0.02) },
+        2 => SourceSpec::Constant { power: mw(1.5) },
+        3 => SourceSpec::Rfid {
+            peak: mw(1.0),
+            period: s(2.0),
+            duty_cycle: 0.4,
+            jitter: 0.9,
+            seed: 7,
+        },
+        4 => SourceSpec::Solar { peak: mw(0.8), day_length: s(600.0), cloudiness: 0.9, seed: 8 },
+        5 => SourceSpec::Markov { on_power: mw(0.5), mean_on: s(5.0), mean_off: s(5.0), seed: 9 },
+        6 => SourceSpec::Schedule(Schedule::fig4()),
+        _ => SourceSpec::Schedule(Schedule::scarce()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Adversarial horizon edges: the lane boots with its energy parked
+    /// within (fractions of) one tick's drift of an FSM threshold, timer
+    /// fires land exactly on tick boundaries or just off them depending on
+    /// `dt`, and segment boundaries / stochastic bursts cut windows short.
+    /// Horizon-stepped lanes must still reproduce the naive scalar oracle
+    /// bit for bit.
+    #[test]
+    fn horizon_edges_preserve_bit_identity(
+        source_index in 0_usize..8,
+        threshold_index in 0_usize..6,
+        // Offset from the chosen threshold in units of one tick's sleep
+        // leakage (10 µJ at paper scale): -2..2 brackets the crossing.
+        offset_ticks in -2_i32..3,
+        // An extra sub-tick nudge: 0 lands *exactly on* the threshold.
+        nudge in (0_usize..5).prop_map(|i| [0.0_f64, 1e-15, 1e-12, 1e-9, 4.9e-6][i]),
+        nudge_sign in (0_u8..2).prop_map(|b| b == 1),
+        // dt = 0.5/0.4 put timer fires exactly on a tick (30/dt integral);
+        // 0.7 puts them strictly between ticks.
+        dt_s in (0_usize..3).prop_map(|i| [0.5_f64, 0.4, 0.7][i]),
+        seed in 0_u64..u64::MAX,
+        duration in 120.0_f64..700.0,
+    ) {
+        let thresholds = Thresholds::paper_default();
+        let pick = [
+            thresholds.off,
+            thresholds.backup,
+            thresholds.safe_zone,
+            thresholds.sense,
+            thresholds.compute,
+            thresholds.transmit,
+        ][threshold_index];
+        let leak_tick = Energy::from_microjoules(20.0 * 0.5 * dt_s);
+        let signed_nudge = if nudge_sign { nudge } else { -nudge };
+        let energy = Energy::new(
+            (pick.value() + f64::from(offset_ticks) * leak_tick.value() + signed_nudge)
+                .clamp(0.0, Capacitor::paper_default().max_energy().value()),
+        );
+        let cap = Capacitor::paper_default().with_energy(energy);
+        let config = FsmConfig::paper_default().with_seed(seed);
+        let dt = Seconds::new(dt_s);
+        let spec = adversarial_source(source_index);
+        let mut scratch = SourceScratch::new();
+
+        let mut batch = BatchExecutor::new(2);
+        batch.enqueue(
+            BatchJob::new(
+                config.clone(),
+                spec.build_seeded_lane(seed, &mut scratch),
+                Seconds::new(duration),
+                dt,
+            )
+            .with_capacitor(cap),
+        );
+        let batched = batch.run_to_completion();
+
+        let mut scalar = IntermittentExecutor::with_source(
+            config,
+            spec.build_seeded_lane(seed, &mut scratch),
+        )
+        .with_capacitor(cap);
+        let expected = scalar.run(Seconds::new(duration), dt);
+        prop_assert_eq!(&expected, &batched[0]);
+    }
+}
+
+/// The paper-shaped 216-scenario campaign must fast-forward a majority of
+/// its ticks — this is the deterministic telemetry check backing the PR's
+/// speedup claim (and `ticks_fast_forwarded > 0` in particular).
+#[test]
+fn the_paper_campaign_fast_forwards_most_ticks() {
+    let space = ScenarioSpace::paper_grid(vec![
+        BackupSizing::BaselineBits(64),
+        BackupSizing::BaselineBits(256),
+    ]);
+    let scenarios = space.scenarios(0xD1AC);
+    assert_eq!(scenarios.len(), 216);
+    let (duration, dt) = (Seconds::new(1500.0), Seconds::new(0.5));
+    let mut batch = BatchExecutor::new(64);
+    let mut scratch = SourceScratch::new();
+    for scenario in &scenarios {
+        batch.enqueue(scenario.batch_job(duration, dt, &mut scratch));
+    }
+    let _ = batch.run_to_completion();
+    let telemetry = batch.telemetry();
+    assert_eq!(telemetry.ticks_total, 216 * 3000);
+    assert!(telemetry.ticks_fast_forwarded > 0, "{telemetry:?}");
+    assert!(telemetry.fast_forward_fraction() > 0.5, "{telemetry:?}");
+    assert!(telemetry.horizon_recomputes > 0, "{telemetry:?}");
 }
