@@ -8,6 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scenarios::campaign::{run_with, CampaignConfig};
+use scenarios::shard::{run_sharded_with, Execution};
 use scenarios::ParallelRunner;
 use std::hint::black_box;
 
@@ -28,6 +29,17 @@ fn bench_scenario_campaign(c: &mut Criterion) {
     for threads in [2_usize, 4, 8] {
         group.bench_with_input(BenchmarkId::new("paper_threads", threads), &threads, |b, &t| {
             b.iter(|| black_box(run_with(&ParallelRunner::with_threads(t), &paper)));
+        });
+    }
+    // Shard-and-merge overhead vs. the monolithic fold: same runner, same
+    // scenarios, but the aggregate is built as `shards` mergeable pieces —
+    // the merge replays Welford updates and concatenates sample vectors, so
+    // the delta against `paper_parallel_all_cores` is the service tax.
+    for shards in [3_usize, 8] {
+        group.bench_with_input(BenchmarkId::new("paper_sharded", shards), &shards, |b, &s| {
+            b.iter(|| {
+                black_box(run_sharded_with(&ParallelRunner::new(), &paper, s, Execution::Scalar))
+            });
         });
     }
     group.finish();

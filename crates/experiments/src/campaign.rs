@@ -88,6 +88,46 @@ pub fn run_batched(seed: u64) -> Result<CampaignResult, DiacError> {
     run_batched_with(&ParallelRunner::new(), seed, scenarios::DEFAULT_BATCH_WIDTH)
 }
 
+/// One shard of the paper campaign — the unit a `campaign_service` worker
+/// process runs and checkpoints.  See [`scenarios::shard`] for the
+/// merge/determinism contract.
+///
+/// # Errors
+///
+/// Propagates the synthesis-side failures of [`diac_backup_sizing`].
+pub fn paper_shard(
+    seed: u64,
+    shard_index: usize,
+    shard_count: usize,
+) -> Result<scenarios::ShardSpec, DiacError> {
+    Ok(scenarios::ShardSpec::new(paper_campaign(seed)?, shard_index, shard_count))
+}
+
+/// Runs the paper campaign as `shard_count` shards on an explicit runner and
+/// engine, merging them — bit-identical to [`run_with`]/[`run_batched_with`]
+/// at any shard count.
+///
+/// # Errors
+///
+/// Propagates the synthesis-side failures of [`diac_backup_sizing`].
+pub fn run_sharded_with(
+    runner: &ParallelRunner,
+    seed: u64,
+    shard_count: usize,
+    execution: scenarios::Execution,
+) -> Result<CampaignResult, DiacError> {
+    Ok(scenarios::run_sharded_with(runner, &paper_campaign(seed)?, shard_count, execution))
+}
+
+/// Runs the paper campaign as `shard_count` scalar shards on all cores.
+///
+/// # Errors
+///
+/// Propagates the synthesis-side failures of [`diac_backup_sizing`].
+pub fn run_sharded(seed: u64, shard_count: usize) -> Result<CampaignResult, DiacError> {
+    Ok(scenarios::run_sharded(&paper_campaign(seed)?, shard_count))
+}
+
 /// Runs the tiny deterministic smoke campaign (16 scenarios, fixed seed) —
 /// shared by the golden tests, the CI smoke job and the `campaign` example.
 #[must_use]

@@ -46,6 +46,12 @@ impl OnlineMetric {
     /// Folds one sample in (Welford's update keeps the mean stable for long
     /// campaigns; samples are recorded in arrival order so aggregation stays
     /// deterministic).
+    ///
+    /// Min/max are tracked under [`f64::total_cmp`] — the same total order
+    /// `quantile`/`summarize` sort with — so every statistic of the metric
+    /// agrees about ordering even if a NaN ever reaches the aggregator
+    /// (`f64::min`/`f64::max` would silently drop the NaN side while the
+    /// sorted percentiles kept it).
     pub fn push(&mut self, value: f64) {
         self.count += 1;
         self.mean += (value - self.mean) / self.count as f64;
@@ -53,16 +59,85 @@ impl OnlineMetric {
             self.min = value;
             self.max = value;
         } else {
-            self.min = self.min.min(value);
-            self.max = self.max.max(value);
+            if value.total_cmp(&self.min).is_lt() {
+                self.min = value;
+            }
+            if value.total_cmp(&self.max).is_gt() {
+                self.max = value;
+            }
         }
         self.samples.push(value);
+    }
+
+    /// Merges `other` into `self`, as if every sample of `other` had been
+    /// [`Self::push`]ed after `self`'s in arrival order: the sample vectors
+    /// concatenate, the Welford mean is *replayed* over `other`'s samples
+    /// (FP addition is not associative, so recombining the two means would
+    /// drift from the monolithic fold), and min/max recombine under
+    /// [`f64::total_cmp`] (which is associative, so the combine is exact).
+    ///
+    /// Because the replay only reads `other.samples`, any merge tree over a
+    /// contiguous partition of a sample stream — left fold, balanced tree,
+    /// arbitrary shape — reproduces the monolithic metric *bit for bit*.
+    /// The shard engine ([`crate::shard`]) is built on this guarantee.
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.clone_from(other);
+            return;
+        }
+        for &value in &other.samples {
+            self.count += 1;
+            self.mean += (value - self.mean) / self.count as f64;
+        }
+        if other.min.total_cmp(&self.min).is_lt() {
+            self.min = other.min;
+        }
+        if other.max.total_cmp(&self.max).is_gt() {
+            self.max = other.max;
+        }
+        self.samples.extend_from_slice(&other.samples);
     }
 
     /// Number of samples folded in.
     #[must_use]
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// The samples in arrival order (the shard checkpoint writer reads
+    /// these; exact quantiles are computed from a sorted copy).
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The running Welford mean (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The smallest sample under [`f64::total_cmp`] (0.0 when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// The largest sample under [`f64::total_cmp`] (0.0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Reassembles a metric from checkpointed state.  The caller (the shard
+    /// record parser) is responsible for handing back exactly what
+    /// [`Self::samples`]/[`Self::mean`]/[`Self::min`]/[`Self::max`] emitted;
+    /// `count` must equal `samples.len()`.
+    pub(crate) fn from_parts(mean: f64, min: f64, max: f64, samples: Vec<f64>) -> Self {
+        Self { count: samples.len() as u64, mean, min, max, samples }
     }
 
     /// Exact nearest-rank quantile (`q` in `[0, 1]`); 0.0 for an empty
@@ -154,6 +229,28 @@ impl Aggregator {
     #[must_use]
     pub fn runs(&self) -> usize {
         self.runs
+    }
+
+    /// Merges `other` into `self` as if `other`'s runs had been
+    /// [`Self::record`]ed after `self`'s, in their original order — see
+    /// [`OnlineMetric::merge`] for why the result is bit-identical to the
+    /// monolithic fold under any merge tree over a contiguous partition.
+    pub fn merge(&mut self, other: &Self) {
+        self.runs += other.runs;
+        for (metric, theirs) in self.metrics.iter_mut().zip(&other.metrics) {
+            metric.merge(theirs);
+        }
+    }
+
+    /// The per-metric accumulators in [`METRIC_NAMES`] order (the shard
+    /// checkpoint writer reads these).
+    pub(crate) fn metrics(&self) -> &[OnlineMetric; 6] {
+        &self.metrics
+    }
+
+    /// Reassembles an aggregator from checkpointed per-metric state.
+    pub(crate) fn from_parts(runs: usize, metrics: [OnlineMetric; 6]) -> Self {
+        Self { runs, metrics }
     }
 
     /// The frozen summary of everything recorded so far.
@@ -288,6 +385,75 @@ mod tests {
         assert_eq!(a.summary().digest(), b.summary().digest());
         b.record(&stats(1, 1, 1));
         assert_ne!(a.summary().digest(), b.summary().digest());
+    }
+
+    #[test]
+    fn nan_samples_keep_min_max_and_quantiles_in_one_order() {
+        // `f64::min`/`f64::max` would drop the NaN side; total_cmp ranks
+        // +NaN above every finite value, exactly like the quantile sort.
+        let mut m = OnlineMetric::default();
+        m.push(f64::NAN);
+        m.push(1.0);
+        m.push(3.0);
+        assert!(m.max().is_nan(), "total_cmp ranks NaN above all finite samples");
+        assert_eq!(m.min(), 1.0);
+        assert!(m.quantile(1.0).is_nan(), "the sorted tail is the same NaN");
+        assert_eq!(m.quantile(0.0), 1.0);
+        let row = m.summarize("nan");
+        assert!(row.max.is_nan() && row.p99.is_nan(), "max and p99 agree on the order");
+    }
+
+    #[test]
+    fn metric_merge_is_bit_identical_to_the_monolithic_fold() {
+        let samples: Vec<f64> = (0..97).map(|i| (f64::from(i) * 0.37).sin() * 1e3).collect();
+        let mut monolithic = OnlineMetric::default();
+        for &v in &samples {
+            monolithic.push(v);
+        }
+        // Every split point, including the empty prefix and suffix.
+        for cut in 0..=samples.len() {
+            let (left, right) = samples.split_at(cut);
+            let mut a = OnlineMetric::default();
+            let mut b = OnlineMetric::default();
+            left.iter().for_each(|&v| a.push(v));
+            right.iter().for_each(|&v| b.push(v));
+            a.merge(&b);
+            assert_eq!(a, monolithic, "cut at {cut} diverged");
+            assert_eq!(a.mean().to_bits(), monolithic.mean().to_bits());
+        }
+        // And a three-way merge in both tree shapes.
+        let thirds: Vec<&[f64]> = samples.chunks(33).collect();
+        let build = |chunk: &[f64]| {
+            let mut m = OnlineMetric::default();
+            chunk.iter().for_each(|&v| m.push(v));
+            m
+        };
+        let (a, b, c) = (build(thirds[0]), build(thirds[1]), build(thirds[2]));
+        let mut left_fold = a.clone();
+        left_fold.merge(&b);
+        left_fold.merge(&c);
+        let mut right_first = b.clone();
+        right_first.merge(&c);
+        let mut right_fold = a;
+        right_fold.merge(&right_first);
+        assert_eq!(left_fold, monolithic);
+        assert_eq!(right_fold, monolithic);
+    }
+
+    #[test]
+    fn aggregator_merge_matches_recording_everything_in_order() {
+        let runs: Vec<RunStats> = (0..10_u64).map(|i| stats(i, i * 2, 10 - i)).collect();
+        let mut monolithic = Aggregator::new();
+        runs.iter().for_each(|r| monolithic.record(r));
+        for cut in 0..=runs.len() {
+            let mut a = Aggregator::new();
+            let mut b = Aggregator::new();
+            runs[..cut].iter().for_each(|r| a.record(r));
+            runs[cut..].iter().for_each(|r| b.record(r));
+            a.merge(&b);
+            assert_eq!(a, monolithic, "cut at {cut} diverged");
+            assert_eq!(a.summary().digest(), monolithic.summary().digest());
+        }
     }
 
     #[test]

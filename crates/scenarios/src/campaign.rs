@@ -2,7 +2,7 @@
 
 use tech45::units::Seconds;
 
-use crate::aggregate::{Aggregator, CampaignSummary};
+use crate::aggregate::CampaignSummary;
 use crate::runner::ParallelRunner;
 use crate::scenario::Scenario;
 use crate::space::{ScenarioSpace, SourceFamily};
@@ -38,6 +38,16 @@ impl CampaignConfig {
     pub fn smoke() -> Self {
         Self { duration: Seconds::new(2600.0), ..Self::new(ScenarioSpace::smoke(), 0xD1AC) }
     }
+
+    /// A stable 64-bit fingerprint of the campaign's identity: seed,
+    /// duration, time step, and every expanded scenario's coordinates
+    /// (seed, source family, thresholds, technology, sizing label).  Shard
+    /// checkpoints embed it so a resume can only ever splice together
+    /// shards of the *same* campaign — see [`crate::shard`].
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        crate::shard::fingerprint_of(self, &self.space.scenarios(self.seed))
+    }
 }
 
 /// The aggregated outcome of one campaign.
@@ -71,10 +81,30 @@ impl CampaignResult {
         self.by_sizing.iter().find(|(l, _)| l == label).map(|(_, s)| s)
     }
 
-    /// Digest of the overall aggregate (see [`CampaignSummary::digest`]).
+    /// A stable 64-bit digest of the *whole* result: the overall aggregate
+    /// plus every labelled per-family and per-sizing slice (FNV-1a over the
+    /// slice digests and their labels).
+    ///
+    /// Earlier revisions hashed only `overall`, which left the
+    /// baseline-vs-DIAC slices — the comparison the sizing axis exists for —
+    /// outside the determinism contract: a merge bug confined to a slice
+    /// would have shipped silently past every digest pin.  Now any bit of
+    /// drift anywhere in the result changes the digest.
     #[must_use]
     pub fn digest(&self) -> u64 {
-        self.overall.digest()
+        let mut fnv = crate::shard::Fnv::new();
+        fnv.eat_u64(self.overall.digest());
+        fnv.eat_u64(self.by_family.len() as u64);
+        for (family, summary) in &self.by_family {
+            fnv.eat_str(family.label());
+            fnv.eat_u64(summary.digest());
+        }
+        fnv.eat_u64(self.by_sizing.len() as u64);
+        for (label, summary) in &self.by_sizing {
+            fnv.eat_str(label);
+            fnv.eat_u64(summary.digest());
+        }
+        fnv.finish()
     }
 }
 
@@ -98,13 +128,23 @@ pub fn run(config: &CampaignConfig) -> CampaignResult {
 #[must_use]
 pub fn run_with(runner: &ParallelRunner, config: &CampaignConfig) -> CampaignResult {
     let scenarios: Vec<Scenario> = config.space.scenarios(config.seed);
-    // Every worker owns one `SourceScratch`, so the fan-out recycles source
-    // buffers across the runs it claims instead of allocating per run.
-    let stats =
-        runner.map_init(&scenarios, crate::space::SourceScratch::new, |scratch, _, scenario| {
-            scenario.run_with_scratch(config.duration, config.dt, scratch)
-        });
+    let stats = scalar_stats(runner, config, &scenarios);
     aggregate(config, &scenarios, &stats)
+}
+
+/// Runs `scenarios` through the scalar per-scenario executor on `runner`,
+/// returning the per-run statistics in scenario order.  Every worker owns
+/// one `SourceScratch`, so the fan-out recycles source buffers across the
+/// runs it claims instead of allocating per run.  Shared by the whole-space
+/// campaign ([`run_with`]) and the shard engine ([`crate::shard`]).
+pub(crate) fn scalar_stats(
+    runner: &ParallelRunner,
+    config: &CampaignConfig,
+    scenarios: &[Scenario],
+) -> Vec<isim::stats::RunStats> {
+    runner.map_init(scenarios, crate::space::SourceScratch::new, |scratch, _, scenario| {
+        scenario.run_with_scratch(config.duration, config.dt, scratch)
+    })
 }
 
 /// Runs a campaign through the lockstep batch executor on all cores, with
@@ -130,6 +170,20 @@ pub fn run_batched_with(
     width: usize,
 ) -> CampaignResult {
     let scenarios: Vec<Scenario> = config.space.scenarios(config.seed);
+    let stats = batched_stats(runner, config, &scenarios, width);
+    aggregate(config, &scenarios, &stats)
+}
+
+/// Runs `scenarios` through [`isim::batch::BatchExecutor`] banks of `width`
+/// lanes, one bank per chunk, chunks fanned out on `runner`; the per-run
+/// statistics come back flattened into scenario order.  Shared by
+/// [`run_batched_with`] and the shard engine ([`crate::shard`]).
+pub(crate) fn batched_stats(
+    runner: &ParallelRunner,
+    config: &CampaignConfig,
+    scenarios: &[Scenario],
+    width: usize,
+) -> Vec<isim::stats::RunStats> {
     let width = width.max(1);
     // One chunk per worker where possible, but never narrower than the bank:
     // a chunk shorter than `width` would leave lanes idle, and the ragged
@@ -148,49 +202,24 @@ pub fn run_batched_with(
             }
             stats
         });
-    let stats: Vec<isim::stats::RunStats> = per_chunk.into_iter().flatten().collect();
-    aggregate(config, &scenarios, &stats)
+    per_chunk.into_iter().flatten().collect()
 }
 
 /// Folds per-run statistics (in scenario order) into the campaign result —
 /// shared by the scalar and batched paths so their aggregates can only
-/// differ if the per-run statistics do.
+/// differ if the per-run statistics do.  Implemented as a single full-range
+/// shard ([`crate::shard::ShardResult`]), so the monolithic fold and the
+/// sharded merge literally run the same aggregation code.
 fn aggregate(
     config: &CampaignConfig,
     scenarios: &[Scenario],
     stats: &[isim::stats::RunStats],
 ) -> CampaignResult {
-    let mut overall = Aggregator::new();
-    let mut families: Vec<(SourceFamily, Aggregator)> = SourceFamily::ALL
-        .iter()
-        .filter(|family| scenarios.iter().any(|s| s.source.family() == **family))
-        .map(|family| (*family, Aggregator::new()))
-        .collect();
-    let mut sizings: Vec<(String, Aggregator)> = Vec::new();
-    for sizing in &config.space.sizings {
-        let label = sizing.label();
-        if !sizings.iter().any(|(l, _)| *l == label) {
-            sizings.push((label, Aggregator::new()));
-        }
-    }
+    let mut shard = crate::shard::ShardResult::new(config, scenarios, 0..scenarios.len());
     for (scenario, run_stats) in scenarios.iter().zip(stats) {
-        overall.record(run_stats);
-        if let Some((_, agg)) =
-            families.iter_mut().find(|(family, _)| *family == scenario.source.family())
-        {
-            agg.record(run_stats);
-        }
-        let label = scenario.sizing.label();
-        if let Some((_, agg)) = sizings.iter_mut().find(|(l, _)| *l == label) {
-            agg.record(run_stats);
-        }
+        shard.record(scenario, run_stats);
     }
-    CampaignResult {
-        runs: overall.runs(),
-        overall: overall.summary(),
-        by_family: families.into_iter().map(|(family, agg)| (family, agg.summary())).collect(),
-        by_sizing: sizings.into_iter().map(|(label, agg)| (label, agg.summary())).collect(),
-    }
+    shard.into_result()
 }
 
 #[cfg(test)]

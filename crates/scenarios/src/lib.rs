@@ -26,6 +26,11 @@
 //! traces.  Every campaign is bit-reproducible from its seed;
 //! [`aggregate::CampaignSummary::digest`] pins that in CI.
 //!
+//! Campaigns also run as a *service*: [`shard::ShardSpec`] splits the
+//! expanded scenario list into contiguous ranges that execute in separate
+//! processes, checkpoint atomically (`diac-shard-v1` records) and merge
+//! back — bit-identically, at any shard count, resumable after a kill.
+//!
 //! See `DESIGN.md` at the repository root for where campaigns sit in the
 //! experiment index.
 //!
@@ -50,6 +55,7 @@ pub mod equiv;
 pub mod runner;
 pub mod scenario;
 pub mod seed;
+pub mod shard;
 pub mod space;
 
 pub use aggregate::{Aggregator, CampaignSummary, MetricRow, METRIC_NAMES};
@@ -60,4 +66,8 @@ pub use campaign::{
 pub use equiv::{run_equivalence_axis, EquivalenceAxis, EquivalenceOutcome, EquivalenceSmoke};
 pub use runner::ParallelRunner;
 pub use scenario::Scenario;
+pub use shard::{
+    run_range_with, run_sharded, run_sharded_with, Execution, ShardError, ShardRecord, ShardResult,
+    ShardSpec, SHARD_SCHEMA,
+};
 pub use space::{BackupSizing, LaneSource, ScenarioSpace, SourceFamily, SourceSpec};

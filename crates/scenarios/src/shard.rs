@@ -1,0 +1,942 @@
+//! Sharded, resumable campaign execution.
+//!
+//! A campaign over a large [`crate::space::ScenarioSpace`] need not run in
+//! one process: the expanded scenario list is split into `shard_count`
+//! contiguous index ranges ([`ShardSpec`]), each shard runs independently
+//! (on its own worker pool, process, or host) through the scalar or batched
+//! executor, and the per-shard aggregates merge back into one
+//! [`CampaignResult`] that is **bit-identical** to the monolithic fold at
+//! any shard count.
+//!
+//! The determinism contract, layer by layer:
+//!
+//! * every scenario's seed depends only on its coordinates (see
+//!   [`crate::space::ScenarioSpace::scenarios`]), so a shard runs exactly
+//!   the same simulations the monolithic campaign would;
+//! * each shard records its runs in scenario order into a
+//!   [`ShardResult`] whose slice structure (overall + per-family +
+//!   per-sizing) is derived from the *full* space, so every shard agrees on
+//!   the slot layout even for families it never runs;
+//! * [`ShardResult::merge`] concatenates adjacent ranges: sample vectors
+//!   concatenate in scenario order, the Welford mean is replayed
+//!   ([`crate::aggregate::OnlineMetric::merge`]), and min/max recombine
+//!   under `total_cmp` — all bit-exact, for any merge tree shape over the
+//!   contiguous partition.
+//!
+//! Checkpoint/resume: a finished shard serialises its complete aggregator
+//! state as a `diac-shard-v1` text record (own writer/parser — the build
+//! environment has no serde) and writes it atomically (temp file + rename),
+//! so a killed campaign never leaves a corrupt checkpoint — at worst a
+//! missing one, and [`ShardSpec::load_checkpoint`] treats missing, corrupt
+//! and mismatched records alike: the shard simply runs again.  Records
+//! embed [`CampaignConfig::fingerprint`] so shards of *different* campaigns
+//! can never be spliced together.
+
+use std::fmt;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use isim::stats::RunStats;
+
+use crate::aggregate::{Aggregator, OnlineMetric, METRIC_NAMES};
+use crate::campaign::{batched_stats, scalar_stats, CampaignConfig, CampaignResult};
+use crate::runner::ParallelRunner;
+use crate::scenario::Scenario;
+use crate::space::SourceFamily;
+
+/// Schema identifier of the checkpoint record format.
+pub const SHARD_SCHEMA: &str = "diac-shard-v1";
+
+/// FNV-1a accumulator shared by the campaign digest/fingerprint code.
+#[derive(Debug)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    /// The FNV-1a offset basis.
+    pub(crate) fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn eat(&mut self, byte: u8) {
+        self.0 ^= u64::from(byte);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    pub(crate) fn eat_u64(&mut self, value: u64) {
+        value.to_le_bytes().into_iter().for_each(|b| self.eat(b));
+    }
+
+    pub(crate) fn eat_f64(&mut self, value: f64) {
+        self.eat_u64(value.to_bits());
+    }
+
+    pub(crate) fn eat_str(&mut self, text: &str) {
+        text.bytes().for_each(|b| self.eat(b));
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Computes [`CampaignConfig::fingerprint`] given the already-expanded
+/// scenario list (the expansion is the expensive part, so callers that
+/// already hold it pass it in).
+pub(crate) fn fingerprint_of(config: &CampaignConfig, scenarios: &[Scenario]) -> u64 {
+    let mut fnv = Fnv::new();
+    fnv.eat_str(SHARD_SCHEMA);
+    fnv.eat_u64(config.seed);
+    fnv.eat_f64(config.duration.as_seconds());
+    fnv.eat_f64(config.dt.as_seconds());
+    fnv.eat_u64(scenarios.len() as u64);
+    for scenario in scenarios {
+        fnv.eat_u64(scenario.seed);
+        fnv.eat_str(scenario.source.family().label());
+        for threshold in [
+            scenario.thresholds.off,
+            scenario.thresholds.backup,
+            scenario.thresholds.safe_zone,
+            scenario.thresholds.sense,
+            scenario.thresholds.compute,
+            scenario.thresholds.transmit,
+        ] {
+            fnv.eat_f64(threshold.as_joules());
+        }
+        let technology = tech45::nvm::NvmTechnology::ALL
+            .iter()
+            .position(|t| *t == scenario.technology)
+            .expect("technology is one of NvmTechnology::ALL");
+        fnv.eat_u64(technology as u64);
+        fnv.eat_str(&scenario.sizing.label());
+    }
+    fnv.finish()
+}
+
+/// Why two shard aggregates refused to merge or finish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The shards belong to different campaigns (fingerprints differ).
+    CampaignMismatch {
+        /// Fingerprint of the receiving shard.
+        expected: u64,
+        /// Fingerprint of the offered shard.
+        found: u64,
+    },
+    /// The scenario ranges are not adjacent in scenario order.
+    NotAdjacent {
+        /// End (exclusive) of the receiving shard's range.
+        end: usize,
+        /// Start of the offered shard's range.
+        start: usize,
+    },
+    /// The slice layouts disagree (cannot happen for shards of one
+    /// campaign; guards against records doctored by hand).
+    SliceShape,
+    /// The merged range does not cover the whole campaign yet.
+    Incomplete {
+        /// Range covered so far.
+        start: usize,
+        /// End (exclusive) of the range covered so far.
+        end: usize,
+        /// Scenarios the campaign expands to.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::CampaignMismatch { expected, found } => write!(
+                f,
+                "shards belong to different campaigns \
+                 (fingerprint {expected:#018x} vs {found:#018x})"
+            ),
+            ShardError::NotAdjacent { end, start } => write!(
+                f,
+                "shard ranges are not adjacent: merged range ends at scenario {end}, \
+                 offered shard starts at {start}"
+            ),
+            ShardError::SliceShape => {
+                f.write_str("shard slice layouts disagree (family/sizing slots differ)")
+            }
+            ShardError::Incomplete { start, end, expected } => write!(
+                f,
+                "merged shards cover scenarios {start}..{end} of {expected}; \
+                 the campaign is incomplete"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// How a shard executes its scenarios.  Both engines produce bit-identical
+/// per-run statistics (pinned by `tests/campaign.rs` and the batch
+/// proptests), so the choice is pure throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Execution {
+    /// One `IntermittentExecutor` per scenario on the parallel work-queue.
+    Scalar,
+    /// Lockstep `BatchExecutor` banks of the given lane width.
+    Batched {
+        /// Lanes per worker bank (clamped to at least 1).
+        width: usize,
+    },
+}
+
+impl Execution {
+    fn stats(
+        self,
+        runner: &ParallelRunner,
+        config: &CampaignConfig,
+        scenarios: &[Scenario],
+    ) -> Vec<RunStats> {
+        match self {
+            Execution::Scalar => scalar_stats(runner, config, scenarios),
+            Execution::Batched { width } => batched_stats(runner, config, scenarios, width),
+        }
+    }
+}
+
+/// One shard of a campaign: a contiguous range of the expanded scenario
+/// list, identified by `(shard_index, shard_count)`.
+///
+/// The partition is balanced and deterministic: with `n` scenarios and `c`
+/// shards, shard `i` covers `n.div_euclid(c)` scenarios plus one of the
+/// first `n.rem_euclid(c)` leftovers, all ranges contiguous in scenario
+/// order — so shards at any count tile the space exactly and merge back to
+/// the monolithic result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSpec {
+    /// The campaign being sharded.
+    pub config: CampaignConfig,
+    /// This shard's index in `0..shard_count`.
+    pub shard_index: usize,
+    /// Total number of shards the campaign is split into.
+    pub shard_count: usize,
+}
+
+impl ShardSpec {
+    /// A shard of `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is zero or `shard_index` is out of range —
+    /// both are caller bugs, not runtime conditions.
+    #[must_use]
+    pub fn new(config: CampaignConfig, shard_index: usize, shard_count: usize) -> Self {
+        assert!(shard_count > 0, "shard_count must be at least 1");
+        assert!(
+            shard_index < shard_count,
+            "shard_index {shard_index} out of range for {shard_count} shards"
+        );
+        Self { config, shard_index, shard_count }
+    }
+
+    /// The contiguous scenario-index range this shard covers (possibly
+    /// empty, when there are more shards than scenarios).
+    #[must_use]
+    pub fn range(&self) -> Range<usize> {
+        shard_range(self.config.space.len(), self.shard_index, self.shard_count)
+    }
+
+    /// Runs this shard's scenarios on `runner` with the given engine.
+    #[must_use]
+    pub fn run_with(&self, runner: &ParallelRunner, execution: Execution) -> ShardResult {
+        let scenarios = self.config.space.scenarios(self.config.seed);
+        run_range(runner, &self.config, &scenarios, self.range(), execution)
+    }
+
+    /// The checkpoint file this shard owns inside `dir`.
+    #[must_use]
+    pub fn checkpoint_path(&self, dir: &Path) -> PathBuf {
+        dir.join(format!("shard-{:05}-of-{:05}.ckpt", self.shard_index, self.shard_count))
+    }
+
+    /// Atomically writes `result` as this shard's completion record:
+    /// the record is serialised to a temporary file in `dir` and renamed
+    /// into place, so a kill mid-write leaves no corrupt checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures (the directory is created if absent).
+    pub fn save_checkpoint(&self, dir: &Path, result: &ShardResult) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = self.checkpoint_path(dir);
+        let tmp = path.with_extension("ckpt.tmp");
+        std::fs::write(&tmp, result.to_record(self.shard_index, self.shard_count))?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Loads this shard's completion record from `dir`, or `None` when the
+    /// shard has not (validly) completed: a missing file, a truncated or
+    /// corrupt record, a record of another campaign (fingerprint mismatch)
+    /// or another shard geometry all mean "run it again".
+    #[must_use]
+    pub fn load_checkpoint(&self, dir: &Path) -> Option<ShardResult> {
+        let text = std::fs::read_to_string(self.checkpoint_path(dir)).ok()?;
+        let record = ShardRecord::parse(&text).ok()?;
+        let matches = record.shard_index == self.shard_index
+            && record.shard_count == self.shard_count
+            && record.result.fingerprint == self.config.fingerprint()
+            && (record.result.start..record.result.end) == self.range();
+        matches.then_some(record.result)
+    }
+
+    /// Resumes this shard from its checkpoint in `dir` if one is valid, or
+    /// runs it and checkpoints the result.  With `dir` `None`, always runs
+    /// (and saves nothing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint-write failures; execution itself cannot fail.
+    pub fn run_or_resume_with(
+        &self,
+        runner: &ParallelRunner,
+        execution: Execution,
+        dir: Option<&Path>,
+    ) -> io::Result<ShardResult> {
+        if let Some(dir) = dir {
+            if let Some(result) = self.load_checkpoint(dir) {
+                return Ok(result);
+            }
+        }
+        let result = self.run_with(runner, execution);
+        if let Some(dir) = dir {
+            self.save_checkpoint(dir, &result)?;
+        }
+        Ok(result)
+    }
+}
+
+/// The balanced contiguous partition: shard `index` of `count` over `len`
+/// scenarios.
+fn shard_range(len: usize, index: usize, count: usize) -> Range<usize> {
+    let base = len / count;
+    let leftover = len % count;
+    let start = index * base + index.min(leftover);
+    let extra = usize::from(index < leftover);
+    start..start + base + extra
+}
+
+/// Runs an arbitrary contiguous `range` of the expanded scenario list —
+/// the primitive [`ShardSpec::run_with`] is built on, exposed so tests can
+/// exercise merge boundaries the balanced partition never produces.
+#[must_use]
+pub fn run_range_with(
+    runner: &ParallelRunner,
+    config: &CampaignConfig,
+    range: Range<usize>,
+    execution: Execution,
+) -> ShardResult {
+    let scenarios = config.space.scenarios(config.seed);
+    run_range(runner, config, &scenarios, range, execution)
+}
+
+fn run_range(
+    runner: &ParallelRunner,
+    config: &CampaignConfig,
+    scenarios: &[Scenario],
+    range: Range<usize>,
+    execution: Execution,
+) -> ShardResult {
+    let slice = &scenarios[range.clone()];
+    let stats = execution.stats(runner, config, slice);
+    let mut shard = ShardResult::new(config, scenarios, range);
+    for (scenario, run_stats) in slice.iter().zip(&stats) {
+        shard.record(scenario, run_stats);
+    }
+    shard
+}
+
+/// Runs a whole campaign as `shard_count` shards on `runner` (shards run
+/// one after another, each internally parallel) and merges them — by
+/// construction bit-identical to [`crate::campaign::run_with`] /
+/// [`crate::campaign::run_batched_with`] at any shard count.
+#[must_use]
+pub fn run_sharded_with(
+    runner: &ParallelRunner,
+    config: &CampaignConfig,
+    shard_count: usize,
+    execution: Execution,
+) -> CampaignResult {
+    let shard_count = shard_count.max(1);
+    let scenarios = config.space.scenarios(config.seed);
+    let mut merged: Option<ShardResult> = None;
+    for index in 0..shard_count {
+        let range = shard_range(scenarios.len(), index, shard_count);
+        let shard = run_range(runner, config, &scenarios, range, execution);
+        match &mut merged {
+            None => merged = Some(shard),
+            Some(acc) => acc.merge(&shard).expect("shards of one campaign merge in order"),
+        }
+    }
+    merged
+        .expect("shard_count >= 1")
+        .into_checked_result(scenarios.len())
+        .expect("the shards tile the whole campaign")
+}
+
+/// [`run_sharded_with`] on all cores with the scalar engine.
+#[must_use]
+pub fn run_sharded(config: &CampaignConfig, shard_count: usize) -> CampaignResult {
+    run_sharded_with(&ParallelRunner::new(), config, shard_count, Execution::Scalar)
+}
+
+/// The mergeable aggregate of one contiguous scenario range.
+///
+/// Slice slots (per-family, per-sizing) are derived from the *whole*
+/// campaign space at construction, so every shard of a campaign carries the
+/// same layout — a shard that never runs a `solar` scenario still has the
+/// (empty) `solar` slot its neighbours will merge into.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardResult {
+    fingerprint: u64,
+    start: usize,
+    end: usize,
+    overall: Aggregator,
+    by_family: Vec<(SourceFamily, Aggregator)>,
+    by_sizing: Vec<(String, Aggregator)>,
+    recorded: usize,
+}
+
+impl ShardResult {
+    /// An empty aggregate for `range`, with slice slots derived from the
+    /// full `scenarios` expansion of `config`.
+    pub(crate) fn new(
+        config: &CampaignConfig,
+        scenarios: &[Scenario],
+        range: Range<usize>,
+    ) -> Self {
+        let by_family = SourceFamily::ALL
+            .iter()
+            .filter(|family| scenarios.iter().any(|s| s.source.family() == **family))
+            .map(|family| (*family, Aggregator::new()))
+            .collect();
+        let mut by_sizing: Vec<(String, Aggregator)> = Vec::new();
+        for sizing in &config.space.sizings {
+            let label = sizing.label();
+            if !by_sizing.iter().any(|(l, _)| *l == label) {
+                by_sizing.push((label, Aggregator::new()));
+            }
+        }
+        Self {
+            fingerprint: fingerprint_of(config, scenarios),
+            start: range.start,
+            end: range.end,
+            overall: Aggregator::new(),
+            by_family,
+            by_sizing,
+            recorded: 0,
+        }
+    }
+
+    /// Folds one finished run in.  Runs must arrive in scenario order — the
+    /// executors guarantee it, and the merge contract depends on it.
+    pub(crate) fn record(&mut self, scenario: &Scenario, stats: &RunStats) {
+        self.overall.record(stats);
+        if let Some((_, agg)) =
+            self.by_family.iter_mut().find(|(family, _)| *family == scenario.source.family())
+        {
+            agg.record(stats);
+        }
+        let label = scenario.sizing.label();
+        if let Some((_, agg)) = self.by_sizing.iter_mut().find(|(l, _)| *l == label) {
+            agg.record(stats);
+        }
+        self.recorded += 1;
+    }
+
+    /// The campaign fingerprint this shard belongs to.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// First scenario index (inclusive) of the covered range.
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Last scenario index (exclusive) of the covered range.
+    #[must_use]
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Number of runs aggregated so far.
+    #[must_use]
+    pub fn runs(&self) -> usize {
+        self.overall.runs()
+    }
+
+    /// Merges the shard covering the range immediately *after* this one
+    /// into `self`.  Adjacency-in-order is required so that sample vectors
+    /// concatenate in scenario order; any merge tree over a contiguous
+    /// partition satisfies it at every interior node, so hierarchical
+    /// merges (pairwise, balanced, left fold — any shape) all reproduce the
+    /// monolithic aggregate bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::CampaignMismatch`] when the fingerprints differ,
+    /// [`ShardError::NotAdjacent`] when `other` does not start exactly
+    /// where `self` ends, [`ShardError::SliceShape`] when the slice slots
+    /// disagree.
+    pub fn merge(&mut self, other: &Self) -> Result<(), ShardError> {
+        if self.fingerprint != other.fingerprint {
+            return Err(ShardError::CampaignMismatch {
+                expected: self.fingerprint,
+                found: other.fingerprint,
+            });
+        }
+        if self.end != other.start {
+            return Err(ShardError::NotAdjacent { end: self.end, start: other.start });
+        }
+        let families_agree = self.by_family.len() == other.by_family.len()
+            && self
+                .by_family
+                .iter()
+                .zip(&other.by_family)
+                .all(|((ours, _), (theirs, _))| ours == theirs);
+        let sizings_agree = self.by_sizing.len() == other.by_sizing.len()
+            && self
+                .by_sizing
+                .iter()
+                .zip(&other.by_sizing)
+                .all(|((ours, _), (theirs, _))| ours == theirs);
+        if !families_agree || !sizings_agree {
+            return Err(ShardError::SliceShape);
+        }
+        self.overall.merge(&other.overall);
+        for ((_, ours), (_, theirs)) in self.by_family.iter_mut().zip(&other.by_family) {
+            ours.merge(theirs);
+        }
+        for ((_, ours), (_, theirs)) in self.by_sizing.iter_mut().zip(&other.by_sizing) {
+            ours.merge(theirs);
+        }
+        self.end = other.end;
+        self.recorded += other.recorded;
+        Ok(())
+    }
+
+    /// Freezes the aggregate into a [`CampaignResult`] after verifying the
+    /// merged range covers the whole campaign.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::CampaignMismatch`] when this aggregate belongs to a
+    /// different campaign than `config`, [`ShardError::Incomplete`] when
+    /// the covered range is not `0..config.space.len()`.
+    pub fn finish(self, config: &CampaignConfig) -> Result<CampaignResult, ShardError> {
+        let expected = config.fingerprint();
+        if self.fingerprint != expected {
+            return Err(ShardError::CampaignMismatch { expected, found: self.fingerprint });
+        }
+        self.into_checked_result(config.space.len())
+    }
+
+    /// [`Self::finish`] without re-deriving the fingerprint (the caller
+    /// already trusts the shard's provenance).
+    fn into_checked_result(self, expected_runs: usize) -> Result<CampaignResult, ShardError> {
+        if self.start != 0 || self.end != expected_runs {
+            return Err(ShardError::Incomplete {
+                start: self.start,
+                end: self.end,
+                expected: expected_runs,
+            });
+        }
+        Ok(self.into_result())
+    }
+
+    /// Freezes the aggregate into a [`CampaignResult`] without coverage
+    /// checks — the monolithic path ([`crate::campaign::run_with`]) uses
+    /// this directly, since its single shard covers the space by
+    /// construction.
+    pub(crate) fn into_result(self) -> CampaignResult {
+        CampaignResult {
+            runs: self.overall.runs(),
+            overall: self.overall.summary(),
+            by_family: self
+                .by_family
+                .into_iter()
+                .map(|(family, agg)| (family, agg.summary()))
+                .collect(),
+            by_sizing: self
+                .by_sizing
+                .into_iter()
+                .map(|(label, agg)| (label, agg.summary()))
+                .collect(),
+        }
+    }
+
+    /// Serialises the shard as a `diac-shard-v1` completion record: a
+    /// line-oriented text format with every `f64` written as its exact bit
+    /// pattern (16 hex digits), closed by an `end` sentinel so truncated
+    /// files can never parse.
+    #[must_use]
+    pub fn to_record(&self, shard_index: usize, shard_count: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{SHARD_SCHEMA}");
+        let _ = writeln!(out, "fingerprint {:016x}", self.fingerprint);
+        let _ = writeln!(out, "shard {shard_index} {shard_count}");
+        let _ = writeln!(out, "range {} {}", self.start, self.end);
+        let slice = |out: &mut String, key: &str, agg: &Aggregator| {
+            let _ = writeln!(out, "slice {key}");
+            let _ = writeln!(out, "runs {}", agg.runs());
+            for (name, metric) in METRIC_NAMES.iter().zip(agg.metrics()) {
+                let _ = write!(
+                    out,
+                    "metric {name} {} {:016x} {:016x} {:016x}",
+                    metric.count(),
+                    metric.mean().to_bits(),
+                    metric.min().to_bits(),
+                    metric.max().to_bits()
+                );
+                for sample in metric.samples() {
+                    let _ = write!(out, " {:016x}", sample.to_bits());
+                }
+                out.push('\n');
+            }
+        };
+        slice(&mut out, "overall", &self.overall);
+        for (family, agg) in &self.by_family {
+            slice(&mut out, &format!("family:{}", family.label()), agg);
+        }
+        for (label, agg) in &self.by_sizing {
+            slice(&mut out, &format!("sizing:{label}"), agg);
+        }
+        out.push_str("end\n");
+        out
+    }
+}
+
+/// A parsed `diac-shard-v1` record: the shard geometry plus the aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRecord {
+    /// The shard's index as written by [`ShardResult::to_record`].
+    pub shard_index: usize,
+    /// The shard count as written by [`ShardResult::to_record`].
+    pub shard_count: usize,
+    /// The deserialised aggregate.
+    pub result: ShardResult,
+}
+
+impl ShardRecord {
+    /// Parses a record produced by [`ShardResult::to_record`].  The parser
+    /// is deliberately scoped to this crate's own schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed line —
+    /// truncated files always fail (the `end` sentinel is required).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let schema = lines.next().ok_or("empty record")?;
+        if schema != SHARD_SCHEMA {
+            return Err(format!("unsupported schema `{schema}` (expected `{SHARD_SCHEMA}`)"));
+        }
+        let fingerprint = u64::from_str_radix(field(lines.next(), "fingerprint")?.trim(), 16)
+            .map_err(|e| format!("bad fingerprint: {e}"))?;
+        let shard_line = field(lines.next(), "shard")?;
+        let (shard_index, shard_count) = pair(shard_line, "shard")?;
+        if shard_count == 0 || shard_index >= shard_count {
+            return Err(format!("invalid shard geometry {shard_index}/{shard_count}"));
+        }
+        let range_line = field(lines.next(), "range")?;
+        let (start, end) = pair(range_line, "range")?;
+        if end < start {
+            return Err(format!("invalid range {start}..{end}"));
+        }
+
+        let mut slices: Vec<(String, Aggregator)> = Vec::new();
+        let mut saw_end = false;
+        let mut line = lines.next();
+        while let Some(current) = line {
+            if current == "end" {
+                saw_end = true;
+                if lines.next().is_some() {
+                    return Err("trailing data after the end sentinel".to_string());
+                }
+                break;
+            }
+            let key = field(Some(current), "slice")?.to_string();
+            let runs: usize = field(lines.next(), "runs")?
+                .trim()
+                .parse()
+                .map_err(|e| format!("slice {key}: bad runs: {e}"))?;
+            let mut metrics: Vec<OnlineMetric> = Vec::with_capacity(METRIC_NAMES.len());
+            for name in METRIC_NAMES {
+                let body = field(lines.next(), "metric")?;
+                let mut words = body.split_ascii_whitespace();
+                let found = words.next().ok_or("metric line missing name")?;
+                if found != name {
+                    return Err(format!("slice {key}: expected metric `{name}`, found `{found}`"));
+                }
+                let count: usize = words
+                    .next()
+                    .ok_or("metric line missing count")?
+                    .parse()
+                    .map_err(|e| format!("metric {name}: bad count: {e}"))?;
+                let mut bits = |what: &str| -> Result<f64, String> {
+                    let word = words.next().ok_or(format!("metric {name}: missing {what}"))?;
+                    Ok(f64::from_bits(
+                        u64::from_str_radix(word, 16)
+                            .map_err(|e| format!("metric {name}: bad {what}: {e}"))?,
+                    ))
+                };
+                let mean = bits("mean")?;
+                let min = bits("min")?;
+                let max = bits("max")?;
+                let mut samples = Vec::with_capacity(count);
+                for i in 0..count {
+                    samples.push(bits(&format!("sample {i}"))?);
+                }
+                if words.next().is_some() {
+                    return Err(format!("metric {name}: trailing samples beyond count {count}"));
+                }
+                metrics.push(OnlineMetric::from_parts(mean, min, max, samples));
+            }
+            if metrics.iter().any(|m| m.count() != runs as u64) {
+                return Err(format!("slice {key}: metric counts disagree with runs {runs}"));
+            }
+            let metrics: [OnlineMetric; 6] =
+                metrics.try_into().expect("exactly METRIC_NAMES.len() metrics were parsed");
+            slices.push((key, Aggregator::from_parts(runs, metrics)));
+            line = lines.next();
+        }
+        if !saw_end {
+            return Err("record is truncated (missing end sentinel)".to_string());
+        }
+
+        let mut slices = slices.into_iter();
+        let (first_key, overall) = slices.next().ok_or("record has no slices")?;
+        if first_key != "overall" {
+            return Err(format!("first slice must be `overall`, found `{first_key}`"));
+        }
+        if overall.runs() != end - start {
+            return Err(format!(
+                "overall slice has {} runs for range {start}..{end}",
+                overall.runs()
+            ));
+        }
+        let mut by_family = Vec::new();
+        let mut by_sizing = Vec::new();
+        for (key, agg) in slices {
+            if let Some(label) = key.strip_prefix("family:") {
+                if !by_sizing.is_empty() {
+                    return Err("family slice after a sizing slice".to_string());
+                }
+                let family = SourceFamily::ALL
+                    .iter()
+                    .copied()
+                    .find(|f| f.label() == label)
+                    .ok_or_else(|| format!("unknown source family `{label}`"))?;
+                by_family.push((family, agg));
+            } else if let Some(label) = key.strip_prefix("sizing:") {
+                by_sizing.push((label.to_string(), agg));
+            } else {
+                return Err(format!("unknown slice key `{key}`"));
+            }
+        }
+        let recorded = overall.runs();
+        Ok(Self {
+            shard_index,
+            shard_count,
+            result: ShardResult {
+                fingerprint,
+                start,
+                end,
+                overall,
+                by_family,
+                by_sizing,
+                recorded,
+            },
+        })
+    }
+}
+
+/// Strips a required `key ` prefix from the next line.
+fn field<'a>(line: Option<&'a str>, key: &str) -> Result<&'a str, String> {
+    let line = line.ok_or_else(|| format!("record ends before the `{key}` line"))?;
+    line.strip_prefix(key)
+        .map(str::trim_start)
+        .ok_or_else(|| format!("expected a `{key}` line, found `{line}`"))
+}
+
+/// Parses two whitespace-separated `usize`s.
+fn pair(body: &str, key: &str) -> Result<(usize, usize), String> {
+    let mut words = body.split_ascii_whitespace();
+    let a = words
+        .next()
+        .ok_or_else(|| format!("`{key}` line missing first value"))?
+        .parse()
+        .map_err(|e| format!("`{key}`: {e}"))?;
+    let b = words
+        .next()
+        .ok_or_else(|| format!("`{key}` line missing second value"))?
+        .parse()
+        .map_err(|e| format!("`{key}`: {e}"))?;
+    if words.next().is_some() {
+        return Err(format!("`{key}` line has trailing data"));
+    }
+    Ok((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_with, CampaignConfig};
+
+    fn smoke() -> CampaignConfig {
+        CampaignConfig::smoke()
+    }
+
+    #[test]
+    fn shard_ranges_tile_the_space_for_any_count() {
+        for len in [0, 1, 5, 16, 216] {
+            for count in [1, 2, 3, 7, 8, 17, 300] {
+                let mut covered = 0;
+                let mut previous_end = 0;
+                for index in 0..count {
+                    let range = shard_range(len, index, count);
+                    assert_eq!(range.start, previous_end, "len {len} count {count}");
+                    assert!(range.end >= range.start);
+                    covered += range.len();
+                    previous_end = range.end;
+                }
+                assert_eq!(covered, len, "count {count} must tile all {len} scenarios");
+                assert_eq!(previous_end, len);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_smoke_campaigns_match_the_monolithic_result_bit_for_bit() {
+        let config = smoke();
+        let monolithic = run_with(&ParallelRunner::serial(), &config);
+        for count in [1, 3, 8, 16, 30] {
+            let sharded =
+                run_sharded_with(&ParallelRunner::serial(), &config, count, Execution::Scalar);
+            assert_eq!(monolithic, sharded, "{count} scalar shards diverged");
+            assert_eq!(monolithic.digest(), sharded.digest());
+            let batched = run_sharded_with(
+                &ParallelRunner::serial(),
+                &config,
+                count,
+                Execution::Batched { width: 4 },
+            );
+            assert_eq!(monolithic, batched, "{count} batched shards diverged");
+        }
+    }
+
+    #[test]
+    fn records_round_trip_bit_exactly() {
+        let config = smoke();
+        let spec = ShardSpec::new(config, 1, 3);
+        let result = spec.run_with(&ParallelRunner::serial(), Execution::Scalar);
+        let text = result.to_record(1, 3);
+        let parsed = ShardRecord::parse(&text).expect("record parses");
+        assert_eq!(parsed.shard_index, 1);
+        assert_eq!(parsed.shard_count, 3);
+        assert_eq!(parsed.result, result);
+    }
+
+    #[test]
+    fn truncated_and_doctored_records_are_rejected() {
+        let config = smoke();
+        let spec = ShardSpec::new(config, 0, 2);
+        let result = spec.run_with(&ParallelRunner::serial(), Execution::Scalar);
+        let text = result.to_record(0, 2);
+        assert!(ShardRecord::parse("").is_err());
+        assert!(ShardRecord::parse("not-a-schema\n").is_err());
+        // Every truncation point fails: the end sentinel is load-bearing.
+        let without_end = text.trim_end_matches("end\n");
+        assert!(ShardRecord::parse(without_end).is_err());
+        let half = &text[..text.len() / 2];
+        assert!(ShardRecord::parse(half).is_err());
+        let mut trailing = text.clone();
+        trailing.push_str("extra\n");
+        assert!(ShardRecord::parse(&trailing).is_err());
+    }
+
+    #[test]
+    fn checkpoints_save_load_and_reject_mismatches() {
+        let dir = std::env::temp_dir().join(format!("diac-shard-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = smoke();
+        let spec = ShardSpec::new(config.clone(), 0, 3);
+        assert!(spec.load_checkpoint(&dir).is_none(), "no checkpoint yet");
+        let result = spec.run_with(&ParallelRunner::serial(), Execution::Scalar);
+        let path = spec.save_checkpoint(&dir, &result).expect("checkpoint writes");
+        assert!(path.exists());
+        assert_eq!(spec.load_checkpoint(&dir), Some(result.clone()));
+        // A different campaign (other seed) must not resume from it.
+        let reseeded = CampaignConfig { seed: config.seed + 1, ..config.clone() };
+        assert!(ShardSpec::new(reseeded, 0, 3).load_checkpoint(&dir).is_none());
+        // Nor a different shard geometry over the same campaign.
+        assert!(ShardSpec::new(config.clone(), 0, 4).load_checkpoint(&dir).is_none());
+        // A corrupt (truncated) checkpoint reads as absent, and resuming
+        // re-runs and repairs it.
+        let ckpt = spec.checkpoint_path(&dir);
+        let text = std::fs::read_to_string(&ckpt).expect("checkpoint exists");
+        std::fs::write(&ckpt, &text[..text.len() / 3]).expect("truncate checkpoint");
+        assert!(spec.load_checkpoint(&dir).is_none());
+        let resumed = spec
+            .run_or_resume_with(&ParallelRunner::serial(), Execution::Scalar, Some(&dir))
+            .expect("resume runs");
+        assert_eq!(resumed, result);
+        assert_eq!(spec.load_checkpoint(&dir), Some(result));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merges_enforce_campaign_and_adjacency() {
+        let config = smoke();
+        let runner = ParallelRunner::serial();
+        let mut a = run_range_with(&runner, &config, 0..5, Execution::Scalar);
+        let b = run_range_with(&runner, &config, 5..16, Execution::Scalar);
+        let gap = run_range_with(&runner, &config, 7..16, Execution::Scalar);
+        assert_eq!(a.clone().merge(&gap), Err(ShardError::NotAdjacent { end: 5, start: 7 }));
+        let reseeded = CampaignConfig { seed: config.seed + 1, ..config.clone() };
+        let foreign = run_range_with(&runner, &reseeded, 5..16, Execution::Scalar);
+        assert!(matches!(a.clone().merge(&foreign), Err(ShardError::CampaignMismatch { .. })));
+        // An incomplete merge refuses to finish…
+        assert!(matches!(
+            a.clone().finish(&config),
+            Err(ShardError::Incomplete { start: 0, end: 5, expected: 16 })
+        ));
+        // …and the full merge finishes to the monolithic result.
+        a.merge(&b).expect("adjacent shards merge");
+        let finished = a.finish(&config).expect("full coverage finishes");
+        assert_eq!(finished, run_with(&runner, &config));
+    }
+
+    #[test]
+    fn empty_shards_merge_transparently() {
+        let config = smoke();
+        let runner = ParallelRunner::serial();
+        let mut merged = run_range_with(&runner, &config, 0..0, Execution::Scalar);
+        assert_eq!(merged.runs(), 0);
+        let rest = run_range_with(&runner, &config, 0..16, Execution::Scalar);
+        let tail = run_range_with(&runner, &config, 16..16, Execution::Scalar);
+        merged.merge(&rest).expect("empty + full merges");
+        merged.merge(&tail).expect("full + empty merges");
+        assert_eq!(merged.clone().finish(&config).expect("covers"), run_with(&runner, &config));
+    }
+
+    #[test]
+    fn fingerprints_identify_the_campaign() {
+        let config = smoke();
+        assert_eq!(config.fingerprint(), config.fingerprint());
+        let reseeded = CampaignConfig { seed: config.seed + 1, ..config.clone() };
+        assert_ne!(config.fingerprint(), reseeded.fingerprint());
+        let stretched =
+            CampaignConfig { duration: tech45::units::Seconds::new(1.0), ..config.clone() };
+        assert_ne!(config.fingerprint(), stretched.fingerprint());
+    }
+}

@@ -1,0 +1,97 @@
+//! Property test: shard-merge bit-identity at arbitrary boundaries.
+//!
+//! For random contiguous partitions of the smoke campaign — including empty
+//! and single-run shards — executed by a random mix of the scalar and
+//! batched engines and merged in a random tree shape, the merged
+//! [`CampaignResult`] must equal the monolithic aggregation bit for bit:
+//! full structural equality *and* the widened digest.  This is the contract
+//! the checkpoint/resume service ([`scenarios::shard`]) stands on.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use scenarios::campaign::{run_with, CampaignConfig, CampaignResult};
+use scenarios::shard::{run_range_with, Execution, ShardResult};
+use scenarios::ParallelRunner;
+
+/// The monolithic oracle, computed once: the serial scalar smoke campaign.
+fn oracle() -> &'static CampaignResult {
+    static ORACLE: OnceLock<CampaignResult> = OnceLock::new();
+    ORACLE.get_or_init(|| run_with(&ParallelRunner::serial(), &CampaignConfig::smoke()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any partition, any engine mix, any merge tree — one result.
+    #[test]
+    fn merged_shards_reproduce_the_monolithic_campaign_bit_for_bit(
+        // Interior cut points of the 16-scenario smoke space.  Unsorted and
+        // possibly duplicated: duplicates become empty shards, which must
+        // merge transparently.
+        mut cuts in prop::collection::vec(0_usize..17, 0..6),
+        // Per-shard engine choice (cycled): scalar or batched, with the
+        // batch width varied so ragged banks are exercised too.
+        engines in prop::collection::vec(0_usize..4, 1..8),
+        // Drives which adjacent pair merges next, i.e. the tree shape.
+        picks in prop::collection::vec(0_usize..64, 0..16),
+    ) {
+        let config = CampaignConfig::smoke();
+        let runner = ParallelRunner::serial();
+        cuts.sort_unstable();
+        let mut boundaries = vec![0];
+        boundaries.extend(cuts);
+        boundaries.push(16);
+
+        // Run every shard with its own engine.
+        let mut shards: Vec<ShardResult> = boundaries
+            .windows(2)
+            .enumerate()
+            .map(|(i, pair)| {
+                let execution = match engines[i % engines.len()] {
+                    0 => Execution::Scalar,
+                    w => Execution::Batched { width: w * 3 },
+                };
+                run_range_with(&runner, &config, pair[0]..pair[1], execution)
+            })
+            .collect();
+
+        // Merge adjacent pairs in a random order: an arbitrary tree shape
+        // over the contiguous partition.
+        let mut pick = picks.into_iter().cycle();
+        while shards.len() > 1 {
+            let i = pick.next().unwrap_or(0) % (shards.len() - 1);
+            let right = shards.remove(i + 1);
+            shards[i].merge(&right).expect("adjacent shards of one campaign merge");
+        }
+        let merged = shards.pop().expect("one shard remains");
+        let result = merged.finish(&config).expect("the partition covers the space");
+
+        prop_assert_eq!(&result, oracle(), "merged result diverged from the monolithic fold");
+        prop_assert_eq!(result.digest(), oracle().digest());
+    }
+
+    /// Single-scenario shards (the finest partition) merge left-to-right to
+    /// the oracle — every scenario is its own shard, alternating engines.
+    #[test]
+    fn one_shard_per_scenario_still_merges_to_the_oracle(offset in 0_usize..2) {
+        let config = CampaignConfig::smoke();
+        let runner = ParallelRunner::serial();
+        let mut merged: Option<ShardResult> = None;
+        for i in 0..16 {
+            let execution = if (i + offset) % 2 == 0 {
+                Execution::Scalar
+            } else {
+                Execution::Batched { width: 1 }
+            };
+            let shard = run_range_with(&runner, &config, i..i + 1, execution);
+            match &mut merged {
+                None => merged = Some(shard),
+                Some(acc) => acc.merge(&shard).expect("adjacent"),
+            }
+        }
+        let result = merged.expect("16 shards").finish(&config).expect("covered");
+        prop_assert_eq!(&result, oracle());
+    }
+}

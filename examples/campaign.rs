@@ -49,7 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let result = if smoke {
-        let config = CampaignConfig::smoke();
+        // `seed N` composes with `smoke`: the smoke grid keeps its shape but
+        // reseeds (earlier revisions silently ignored the seed here).
+        let config = CampaignConfig { seed, ..CampaignConfig::smoke() };
         match mode {
             Mode::Serial => scenarios::run_with(&ParallelRunner::serial(), &config),
             Mode::Parallel => scenarios::run(&config),

@@ -56,6 +56,36 @@ fn the_paper_campaign_digest_is_identical_across_serial_parallel_and_batched_exe
 }
 
 #[test]
+fn the_sharded_paper_campaign_matches_the_unsharded_oracle_at_every_count() {
+    // The acceptance pin of the shard engine: the 216-run paper campaign,
+    // split into 1, 3 or 8 contiguous shards and merged, is bit-identical —
+    // full result equality and the widened digest — to the unsharded scalar
+    // oracle, for both per-shard engines.
+    let config = campaign::paper_campaign(0xD1AC).expect("campaign config builds");
+    let oracle = scenarios::run_with(&ParallelRunner::serial(), &config);
+    for shard_count in [1, 3, 8] {
+        let scalar = scenarios::run_sharded_with(
+            &ParallelRunner::with_threads(4),
+            &config,
+            shard_count,
+            scenarios::Execution::Scalar,
+        );
+        assert_eq!(oracle, scalar, "{shard_count} scalar shards diverged");
+        assert_eq!(oracle.digest(), scalar.digest());
+        let batched = scenarios::run_sharded_with(
+            &ParallelRunner::with_threads(4),
+            &config,
+            shard_count,
+            scenarios::Execution::Batched { width: 16 },
+        );
+        assert_eq!(oracle, batched, "{shard_count} batched shards diverged");
+    }
+    // The experiments-crate wrapper is the same computation.
+    let wrapped = campaign::run_sharded(0xD1AC, 3).expect("wrapper runs");
+    assert_eq!(oracle, wrapped);
+}
+
+#[test]
 fn the_paper_campaign_exercises_every_axis() {
     let config = campaign::paper_campaign(1).expect("campaign config builds");
     let scenarios = config.space.scenarios(config.seed);
