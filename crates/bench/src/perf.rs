@@ -16,6 +16,9 @@
 //!   digest); the ratio to `campaign_216` is the batch-engine speedup,
 //! * `batch_executor_s27` — one raw 64-lane bank of the s27-DIAC-sized
 //!   scenario under the scarce schedule, without campaign plumbing,
+//! * `source_sample_solar` / `source_sample_rfid` / `source_sample_markov` —
+//!   3000 ticks of raw `power_at` sampling per stochastic source family (the
+//!   counter-indexed draw cost the campaign loops pay per checked tick),
 //! * `scalar_sim_s298` / `bitsim_s298` — 64 input patterns through the
 //!   scalar simulator (64 dense-slot passes) vs. the 64-lane `BitSim` (one
 //!   word-parallel pass over the CSR slices); the pair documents the
@@ -55,6 +58,12 @@ pub const SCHEMA: &str = "diac-perf-v1";
 /// Default noise threshold of the regression gate: a median more than 25 %
 /// above the baseline fails the comparison.
 pub const DEFAULT_MAX_REGRESSION: f64 = 0.25;
+
+/// How far `batch_fast_forward_fraction` may fall below the baseline before
+/// the gate fails (5 points): the fraction is a quality bar for the
+/// event-horizon executor, not just telemetry — a larger drop means steady
+/// windows stopped being recognised somewhere.
+pub const FAST_FORWARD_DROP_TOLERANCE: f64 = 0.05;
 
 /// Timing record of one fixed benchmark.
 #[derive(Debug, Clone, PartialEq)]
@@ -395,6 +404,22 @@ pub fn compare(baseline: &PerfReport, current: &PerfReport, max_regression: f64)
         }
     }
     let mut violations = Vec::new();
+    // The event-horizon fast-forward fraction must not silently erode: a
+    // drop of more than [`FAST_FORWARD_DROP_TOLERANCE`] vs the baseline
+    // fails the gate.  Baselines predating the telemetry parse the field as
+    // 0.0 and skip the check.
+    if baseline.batch_fast_forward_fraction > 0.0
+        && current.batch_fast_forward_fraction
+            < baseline.batch_fast_forward_fraction - FAST_FORWARD_DROP_TOLERANCE
+    {
+        violations.push(format!(
+            "`batch_fast_forward_fraction` fell to {:.1} % from the baseline's {:.1} % \
+             (tolerance is {:.0} points)",
+            current.batch_fast_forward_fraction * 100.0,
+            baseline.batch_fast_forward_fraction * 100.0,
+            FAST_FORWARD_DROP_TOLERANCE * 100.0
+        ));
+    }
     // The batch engine exists to beat the scalar campaign; a current report
     // where it does not is a defect even if both medians moved "within
     // threshold" against the baseline.
@@ -543,6 +568,52 @@ pub fn run_quick_suite(tag: &str, config: &SuiteConfig) -> PerfReport {
                 ));
             }
             batch.run_to_completion()
+        }),
+    ));
+
+    // 3d. raw per-sample cost of the stochastic sources: a fresh source per
+    // iteration (construction is a couple of integer mixes) sampled over the
+    // campaign tick grid — the counter-indexed draw cost every checked tick
+    // of the scalar and batch loops pays.
+    use ehsim::source::{HarvestSource, MarkovSource, RfidSource, SolarSource};
+    use tech45::units::Power;
+    benchmarks.push(BenchRecord::from_samples(
+        "source_sample_solar",
+        time_iters(config.iters(2000), || {
+            let mut source =
+                SolarSource::new(Power::from_milliwatts(0.8), Seconds::new(600.0), 0.3, 3);
+            let mut acc = 0.0;
+            for i in 0..3000_u64 {
+                acc += source.power_at(Seconds::new(i as f64 * 0.5)).as_watts();
+            }
+            acc
+        }),
+    ));
+    benchmarks.push(BenchRecord::from_samples(
+        "source_sample_rfid",
+        time_iters(config.iters(2000), || {
+            let mut source = RfidSource::typical(1);
+            let mut acc = 0.0;
+            for i in 0..3000_u64 {
+                acc += source.power_at(Seconds::new(i as f64 * 0.5)).as_watts();
+            }
+            acc
+        }),
+    ));
+    benchmarks.push(BenchRecord::from_samples(
+        "source_sample_markov",
+        time_iters(config.iters(2000), || {
+            let mut source = MarkovSource::new(
+                Power::from_milliwatts(0.5),
+                Seconds::new(20.0),
+                Seconds::new(40.0),
+                4,
+            );
+            let mut acc = 0.0;
+            for i in 0..3000_u64 {
+                acc += source.power_at(Seconds::new(i as f64 * 0.5)).as_watts();
+            }
+            acc
         }),
     ));
 
@@ -727,6 +798,30 @@ mod tests {
     }
 
     #[test]
+    fn a_fast_forward_fraction_drop_beyond_five_points_fails_the_gate() {
+        let mut baseline = report("baseline", &[("a", 1_000)]);
+        baseline.batch_fast_forward_fraction = 0.93;
+        let mut current = report("pr", &[("a", 1_000)]);
+
+        // A drop within the tolerance passes.
+        current.batch_fast_forward_fraction = 0.89;
+        assert!(compare(&baseline, &current, 0.25).passed());
+
+        // A six-point drop is a violation even with every median steady.
+        current.batch_fast_forward_fraction = 0.87;
+        let comparison = compare(&baseline, &current, 0.25);
+        assert_eq!(comparison.violations.len(), 1);
+        assert!(!comparison.passed());
+        assert!(comparison.to_markdown().contains("batch_fast_forward_fraction"));
+
+        // Baselines predating the telemetry (field parses as 0.0) skip the
+        // check entirely.
+        baseline.batch_fast_forward_fraction = 0.0;
+        current.batch_fast_forward_fraction = 0.0;
+        assert!(compare(&baseline, &current, 0.25).passed());
+    }
+
+    #[test]
     fn missing_benchmarks_fail_the_gate() {
         let baseline = report("baseline", &[("a", 1_000), ("gone", 1_000)]);
         let current = report("pr", &[("a", 1_000)]);
@@ -751,7 +846,10 @@ mod tests {
     #[test]
     fn the_quick_suite_runs_at_smoke_scale() {
         let report = run_quick_suite("smoke", &SuiteConfig { scale: 0.0 });
-        assert_eq!(report.benchmarks.len(), 10);
+        assert_eq!(report.benchmarks.len(), 13);
+        assert!(report.bench("source_sample_solar").is_some());
+        assert!(report.bench("source_sample_rfid").is_some());
+        assert!(report.bench("source_sample_markov").is_some());
         assert!(report.bench("tree_restructure_s298").is_some());
         assert!(report.bench("replacement_s27").is_some());
         assert!(report.bench("equiv_s27").is_some());
@@ -764,7 +862,7 @@ mod tests {
         assert_eq!(campaign.iterations, 3);
         assert!(report.to_markdown().contains("Batch-engine speedup"));
         let parsed = PerfReport::from_json(&report.to_json()).unwrap();
-        assert_eq!(parsed.benchmarks.len(), 10);
+        assert_eq!(parsed.benchmarks.len(), 13);
         // No timing-ratio assertion here: at smoke scale (3 samples) a
         // scheduler preemption could flake it.  The scalar-vs-BitSim ratio
         // is enforced by the release perf gate against BENCH_baseline.json.

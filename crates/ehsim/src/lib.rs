@@ -10,6 +10,9 @@
 //!   accounting, and voltage/energy conversions.
 //! * [`source`] — ambient harvest sources: constant, RFID-burst, solar-like,
 //!   two-state Markov, trace-driven, and piecewise schedules.
+//! * [`crng`] — the counter-indexed random streams behind the stochastic
+//!   sources: every draw is a pure function of `(seed, index)`, so steady
+//!   stretches can be skipped in O(1) with no replay bookkeeping.
 //! * [`bank`] — structure-of-arrays lane banks ([`bank::CapacitorBank`],
 //!   [`bank::PiecewiseCursor`]) for the lockstep batch executor; the per-lane
 //!   physics is shared with the scalar types through
@@ -42,6 +45,7 @@
 
 pub mod bank;
 pub mod capacitor;
+pub mod crng;
 pub mod pmu;
 pub mod schedule;
 pub mod source;
@@ -49,6 +53,7 @@ pub mod trace;
 
 pub use bank::{CapacitorBank, PiecewiseCursor};
 pub use capacitor::{Capacitor, EnergyCell};
+pub use crng::CounterRng;
 pub use pmu::{OperatingZone, PowerEvent, PowerManagementUnit, ThresholdBank, Thresholds};
 pub use schedule::Schedule;
 pub use source::{HarvestSource, MarkovSource, PiecewiseSource, RfidSource, SolarSource};

@@ -6,18 +6,25 @@
 //! sources here produce exactly such power-versus-time profiles; all of them
 //! are deterministic given their configuration (and seed, where randomness is
 //! involved) so that every experiment is reproducible.
+//!
+//! Stochastic sources draw from counter-indexed streams ([`crate::crng`]):
+//! solar cloud noise is indexed by the query instant, RFID burst jitter by
+//! the cycle number, Markov dwell times by the switch count.  Each draw is a
+//! pure function of `(seed, index)`, so steady stretches can be skipped in
+//! O(1) without any replay bookkeeping.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::crng::CounterRng;
 
 use tech45::units::{Power, Seconds};
 
 /// A source of ambient power.
 ///
-/// Implementations report the power available at an absolute simulation time;
-/// they may keep internal state (e.g. the Markov source), so querying times
-/// out of order is not supported — the simulator always advances time
-/// monotonically.
+/// Implementations report the power available at an absolute simulation time.
+/// Randomness is counter-indexed ([`crate::crng`]): the stochastic sources
+/// derive every draw from `(stream_seed, domain index)` rather than from a
+/// sequential stream, so their samples are pure in the query time (up to the
+/// Markov source's monotone clock, which only ever moves forward) and
+/// skipping queries never perturbs future samples.
 pub trait HarvestSource {
     /// Power delivered to the harvester front-end at time `t`.
     fn power_at(&mut self, t: Seconds) -> Power;
@@ -28,30 +35,18 @@ pub trait HarvestSource {
     /// How many ticks *after* tick `tick` (at `t = tick * dt`) this source is
     /// provably steady: for every `j` in `1..=steady_ticks(tick, dt)`,
     /// `power_at((tick + j) * dt)` would return the bit-exact power of tick
-    /// `tick`, **and** calling [`Self::skip_ticks`] over the window leaves
-    /// the source's internal state (RNG streams, cursors)
-    /// indistinguishable from having made the calls.  A caller that has just
-    /// called `power_at(tick * dt)` may therefore replace those `j` queries
-    /// with one `skip_ticks(tick, j, dt)` and reuse the cached sample.
+    /// `tick`, and *not* making those calls leaves every future sample
+    /// unchanged.  Because draws are counter-indexed, elided queries consume
+    /// nothing — there is no stream position to replay — and the only
+    /// per-query state left (memo caches, the Markov monotone clock) is
+    /// self-healing.  A caller may therefore simply jump past the window and
+    /// reuse the cached sample; no skip/replay call exists or is needed.
     ///
     /// The default is 0 — never steady — which is always safe; sources whose
-    /// per-query randomness actually varies the sample (solar daylight,
-    /// RFID jitter mid-draw) must keep it.
+    /// sample genuinely varies per tick (solar daylight) return 0 there.
     fn steady_ticks(&mut self, tick: u64, dt: Seconds) -> u64 {
         let _ = (tick, dt);
         0
-    }
-
-    /// Advances internal state exactly as if `power_at((from_tick + j) * dt)`
-    /// had been called for every `j` in `1..=skipped` — the write half of the
-    /// [`Self::steady_ticks`] contract.  Callers only invoke it over windows
-    /// `steady_ticks` vouched for.  The default is a no-op, which is correct
-    /// for every source whose queries are pure or self-healing (constant,
-    /// piecewise schedules, Markov's monotone clock clamp); sources that
-    /// consume randomness per query even when the sample is provably fixed
-    /// (solar at night) must drain the same number of draws here.
-    fn skip_ticks(&mut self, from_tick: u64, skipped: u64, dt: Seconds) {
-        let _ = (from_tick, skipped, dt);
     }
 
     /// A conservative upper bound on every sample this source can ever
@@ -104,21 +99,24 @@ pub struct RfidSource {
     period: Seconds,
     duty_cycle: f64,
     jitter: f64,
-    rng: StdRng,
-    cached_cycle: Option<(u64, f64, f64)>,
+    jitter_rng: CounterRng,
+    /// `(cycle, start, end)` memo of the last window [`Self::power_at`]
+    /// computed.  Windows are pure functions of the cycle, so the memo can
+    /// never go stale — it only saves the jitter mix on repeat queries of
+    /// the same cycle (several ticks per cycle on campaign grids).
+    window_memo: Option<(u64, f64, f64)>,
     steady_cache: Option<SteadyCache>,
 }
 
-/// A verified constant-power tick interval of one RFID cycle, kept so the
-/// hot steady probe is two integer compares instead of the float search.
+/// A verified constant-power tick interval, kept so the hot steady probe is
+/// two integer compares instead of the float search.  Windows are pure
+/// functions of the cycle index, so the cache can never go stale.
 #[derive(Debug, Clone, Copy)]
 struct SteadyCache {
     /// First tick of the verified in-region interval (the probe anchor).
     first: u64,
     /// Last tick of the verified in-region interval.
     last: u64,
-    /// Cycle index the interval belongs to.
-    cycle: u64,
     /// Bit pattern of the `dt` the interval was computed for.
     dt_bits: u64,
 }
@@ -134,8 +132,8 @@ impl RfidSource {
             period,
             duty_cycle: duty_cycle.clamp(0.0, 1.0),
             jitter: jitter.clamp(0.0, 0.5),
-            rng: StdRng::seed_from_u64(seed),
-            cached_cycle: None,
+            jitter_rng: CounterRng::new(seed),
+            window_memo: None,
             steady_cache: None,
         }
     }
@@ -146,17 +144,31 @@ impl RfidSource {
         Self::new(Power::from_milliwatts(1.0), Seconds::new(2.0), 0.4, 0.1, seed)
     }
 
-    fn cycle_window(&mut self, cycle: u64) -> (f64, f64) {
-        if let Some((cached, start, end)) = self.cached_cycle {
+    /// The burst window of `cycle`, as `(start, end)` phase fractions.  A
+    /// pure function of the cycle index: the jitter draw is counter-indexed
+    /// by the cycle number, so any cycle's window can be computed at any
+    /// time, in any order, without consuming a stream.
+    fn cycle_window(&self, cycle: u64) -> (f64, f64) {
+        let jitter_start = if self.jitter > 0.0 {
+            self.jitter_rng.range_f64(cycle, -self.jitter, self.jitter)
+        } else {
+            0.0
+        };
+        let start = jitter_start.clamp(0.0, 1.0 - self.duty_cycle);
+        let end = (start + self.duty_cycle).min(1.0);
+        (start, end)
+    }
+
+    /// [`Self::cycle_window`] behind the memo — the hot-path variant for
+    /// repeat queries of the same cycle.
+    fn cycle_window_memo(&mut self, cycle: u64) -> (f64, f64) {
+        if let Some((cached, start, end)) = self.window_memo {
             if cached == cycle {
                 return (start, end);
             }
         }
-        let jitter_start =
-            if self.jitter > 0.0 { self.rng.gen_range(-self.jitter..self.jitter) } else { 0.0 };
-        let start = (jitter_start).clamp(0.0, 1.0 - self.duty_cycle);
-        let end = (start + self.duty_cycle).min(1.0);
-        self.cached_cycle = Some((cycle, start, end));
+        let (start, end) = self.cycle_window(cycle);
+        self.window_memo = Some((cycle, start, end));
         (start, end)
     }
 }
@@ -169,7 +181,7 @@ impl HarvestSource for RfidSource {
         let cycles = t.as_seconds() / self.period.as_seconds();
         let cycle = cycles.floor() as u64;
         let phase = cycles.fract();
-        let (start, end) = self.cycle_window(cycle);
+        let (start, end) = self.cycle_window_memo(cycle);
         if phase >= start && phase < end {
             self.peak
         } else {
@@ -186,12 +198,14 @@ impl HarvestSource for RfidSource {
         )
     }
 
-    /// Steady while the tick grid stays inside the current cycle's burst (or
-    /// rest) window: the power is a pure function of the phase there, and the
-    /// jitter RNG is only consulted when a *new* cycle begins, so skipping
-    /// the queries cannot perturb the random stream.  The candidate horizon
-    /// is verified with the exact `power_at` phase arithmetic (monotone in
-    /// the tick index), so it never overshoots a boundary.
+    /// Steady while the tick grid stays inside one constant-power region.
+    /// Windows are pure functions of the cycle index, so the window of *any*
+    /// cycle can be computed without consuming a stream: the post-burst rest
+    /// therefore extends across the cycle wrap into the next cycle's
+    /// pre-burst rest, one contiguous zero-power stretch the sequential
+    /// generator could never vouch for.  The candidate horizon is verified
+    /// with the exact `power_at` phase arithmetic (monotone in the tick
+    /// index), so it never overshoots a boundary.
     fn steady_ticks(&mut self, tick: u64, dt: Seconds) -> u64 {
         if self.period.is_non_positive() {
             // Degenerate period: identically zero power, no state.
@@ -201,52 +215,63 @@ impl HarvestSource for RfidSource {
         if dt_s <= 0.0 {
             return 0;
         }
-        let Some((cycle, start, end)) = self.cached_cycle else { return 0 };
         // Re-probes inside an interval the float search below already
-        // verified (and whose cycle window is still the cached one) are a
-        // suffix of a proven window — answer with integer arithmetic.
+        // verified are a suffix of a proven window — answer with integer
+        // arithmetic.  Pure windows mean the cache can never go stale.
         if let Some(c) = self.steady_cache {
-            if c.cycle == cycle
-                && c.dt_bits == dt.value().to_bits()
-                && tick >= c.first
-                && tick <= c.last
-            {
+            if c.dt_bits == dt.value().to_bits() && tick >= c.first && tick <= c.last {
                 return c.last - tick;
             }
         }
         let period = self.period.as_seconds();
         let t0 = tick as f64 * dt_s;
         let cycles0 = t0 / period;
-        if cycles0.floor() as u64 != cycle {
-            return 0;
-        }
+        let cycle = cycles0.floor() as u64;
         let phase0 = cycles0.fract();
         // The cycle splits into three constant-power phase regions:
-        // [0, start) off, [start, end) on, [end, 1) off.
-        let hi = if phase0 < start {
-            start
-        } else if phase0 < end {
-            end
+        // [0, start) off, [start, end) on, [end, 1) off — and the trailing
+        // off region continues into [0, start') of cycle + 1.
+        let (start, end) = self.cycle_window(cycle);
+        let (next_start, _) = self.cycle_window(cycle + 1);
+        let on = phase0 >= start && phase0 < end;
+        let hi_cycles = if phase0 < start {
+            cycle as f64 + start
+        } else if on {
+            cycle as f64 + end
         } else {
-            1.0
+            (cycle + 1) as f64 + next_start
         };
-        let t_boundary = (cycle as f64 + hi) * period;
-        let candidate = ((t_boundary - t0) / dt_s).ceil();
+        let candidate = ((hi_cycles * period - t0) / dt_s).ceil();
         if !candidate.is_finite() || candidate < 1.0 {
             return 0;
         }
         let mut h = candidate as u64;
-        // `tick + j -> phase` is monotone within a cycle, so the set of safe
-        // `j` is a prefix: verifying the last tick verifies the whole window.
+        // `tick + j -> cycles` is monotone and each region's safe tick set
+        // is a prefix, so verifying the last tick with the exact `power_at`
+        // arithmetic verifies the whole window.
         let in_region = |j: u64| {
             let cj = ((tick + j) as f64 * dt_s) / period;
-            cj.floor() as u64 == cycle && cj.fract() < hi
+            let c = cj.floor() as u64;
+            let phase = cj.fract();
+            if on {
+                c == cycle && phase < end
+            } else if c == cycle {
+                if phase0 < start {
+                    phase < start
+                } else {
+                    phase >= end
+                }
+            } else {
+                // The post-burst rest may spill into the next cycle's
+                // pre-burst rest; anything further is never claimed.
+                phase0 >= end && c == cycle + 1 && phase < next_start
+            }
         };
         while h > 0 && !in_region(h) {
             h -= 1;
         }
         self.steady_cache =
-            Some(SteadyCache { first: tick, last: tick + h, cycle, dt_bits: dt.value().to_bits() });
+            Some(SteadyCache { first: tick, last: tick + h, dt_bits: dt.value().to_bits() });
         h
     }
 
@@ -262,7 +287,7 @@ pub struct SolarSource {
     peak: Power,
     day_length: Seconds,
     cloudiness: f64,
-    rng: StdRng,
+    clouds: CounterRng,
     /// `(end_tick, dt_bits)`: ticks strictly before `end_tick` (at that `dt`)
     /// are known daylight, so the steady probe answers 0 without arithmetic.
     day_cache: Option<(u64, u64)>,
@@ -277,7 +302,7 @@ impl SolarSource {
             peak,
             day_length,
             cloudiness: cloudiness.clamp(0.0, 1.0),
-            rng: StdRng::seed_from_u64(seed),
+            clouds: CounterRng::new(seed),
             day_cache: None,
         }
     }
@@ -291,7 +316,16 @@ impl HarvestSource for SolarSource {
         let phase = (t.as_seconds() / self.day_length.as_seconds()).fract();
         // Daylight between phase 0.25 and 0.75, zero at night.
         let sun = (std::f64::consts::PI * (phase * 2.0 - 0.5)).sin().max(0.0);
-        let clouds = 1.0 - self.cloudiness * self.rng.gen::<f64>();
+        if sun == 0.0 {
+            // `peak * 0.0 * clouds` is `+0.0` whatever the cloud draw would
+            // have been (the cloud factor is strictly positive), and the
+            // draw is counter-indexed — pure in `t` — so eliding it leaves
+            // no stream to advance.
+            return Power::ZERO;
+        }
+        // Cloud noise is indexed by the query instant's bit pattern, which
+        // on a fixed tick grid is injective in the tick index.
+        let clouds = 1.0 - self.cloudiness * self.clouds.unit_f64(t.value().to_bits());
         Power::new(self.peak.as_watts() * sun * clouds)
     }
 
@@ -303,22 +337,20 @@ impl HarvestSource for SolarSource {
         )
     }
 
-    /// Solar nights are steady at exactly zero: whenever the sine factor is
-    /// strictly negative, `sun` clamps to `+0.0` and the sample is
-    /// `peak * 0.0 * clouds = +0.0` *whatever* the cloud draw was (clouds is
-    /// always strictly positive), so the queries return a bit-identical zero.
-    /// The draws themselves still advance the RNG, which is what
-    /// [`Self::skip_ticks`] replays.  A float estimate of the ticks left
-    /// until sunrise seeds the horizon and the *last* tick is re-verified
-    /// with the exact `power_at` sine expression; night is one contiguous
-    /// phase interval, so the last tick being dark proves the whole window
-    /// is.  Ticks whose sine lands exactly on `0.0` are excluded (strict
-    /// `< 0`) to keep even the sign of every intermediate product identical.
+    /// Solar nights are steady at exactly zero: whenever the sine factor
+    /// clamps to `+0.0` the sample is a bit-identical `Power::ZERO`, and the
+    /// cloud draws are counter-indexed — pure in the query time — so eliding
+    /// the night queries leaves nothing to replay.  A float estimate of the
+    /// ticks left until sunrise seeds the horizon and the *last* tick is
+    /// re-verified with the exact `power_at` sine expression; night is one
+    /// contiguous phase interval, so the last tick being dark proves the
+    /// whole window is.  Ticks whose sine lands exactly on `0.0` are
+    /// excluded (strict `< 0`) to keep the verification one-sided.
     fn steady_ticks(&mut self, tick: u64, dt: Seconds) -> u64 {
         let day = self.day_length.as_seconds();
         if day <= 0.0 {
-            // Degenerate day: `power_at` early-returns zero without touching
-            // the RNG, so the source is a stateless constant.
+            // Degenerate day: `power_at` early-returns zero, so the source
+            // is a stateless constant.
             return u64::MAX;
         }
         let dt_s = dt.as_seconds();
@@ -372,17 +404,6 @@ impl HarvestSource for SolarSource {
         h
     }
 
-    /// Replays the cloud-noise draws of `skipped` skipped night queries (one
-    /// `gen::<f64>()` per `power_at` call, exactly as the live path draws).
-    fn skip_ticks(&mut self, _from_tick: u64, skipped: u64, _dt: Seconds) {
-        if self.day_length.is_non_positive() {
-            return;
-        }
-        for _ in 0..skipped {
-            let _: f64 = self.rng.gen();
-        }
-    }
-
     fn power_bound(&self) -> Option<Power> {
         // sun and cloud factors both lie in [0, 1].
         Some(self.peak)
@@ -396,7 +417,10 @@ pub struct MarkovSource {
     on_power: Power,
     mean_on: Seconds,
     mean_off: Seconds,
-    rng: StdRng,
+    /// Dwell-time stream, indexed by the switch count: draw `k` is the dwell
+    /// preceding switch `k + 1`, whenever it happens to be computed.
+    dwell: CounterRng,
+    draws: u64,
     state_on: bool,
     next_switch: f64,
     last_time: f64,
@@ -407,10 +431,19 @@ impl MarkovSource {
     /// the given mean on/off dwell times.
     #[must_use]
     pub fn new(on_power: Power, mean_on: Seconds, mean_off: Seconds, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let first: f64 = rng.gen::<f64>().max(1e-9);
+        let dwell = CounterRng::new(seed);
+        let first = dwell.unit_f64(0).max(1e-9);
         let next_switch = -mean_on.as_seconds() * first.ln();
-        Self { on_power, mean_on, mean_off, rng, state_on: true, next_switch, last_time: 0.0 }
+        Self {
+            on_power,
+            mean_on,
+            mean_off,
+            dwell,
+            draws: 1,
+            state_on: true,
+            next_switch,
+            last_time: 0.0,
+        }
     }
 }
 
@@ -421,7 +454,8 @@ impl HarvestSource for MarkovSource {
         while now >= self.next_switch {
             self.state_on = !self.state_on;
             let mean = if self.state_on { self.mean_on } else { self.mean_off };
-            let u: f64 = self.rng.gen::<f64>().max(1e-9);
+            let u = self.dwell.unit_f64(self.draws).max(1e-9);
+            self.draws += 1;
             self.next_switch += (-mean.as_seconds() * u.ln()).max(1e-6);
         }
         if self.state_on {
@@ -442,10 +476,9 @@ impl HarvestSource for MarkovSource {
 
     /// Ticks strictly before `next_switch` are skippable: queries in that
     /// range return the current dwell power and touch nothing but
-    /// `last_time`, which is a pure monotonicity clamp — the catch-up loop
-    /// processes switches (and draws their dwell times) in the same order
-    /// whether the intermediate queries happen or not, so the RNG stream and
-    /// all future samples are bit-identical either way.
+    /// `last_time`, which is a pure monotonicity clamp — and dwell draws are
+    /// indexed by the switch count, so the catch-up loop produces the same
+    /// dwell times whether the intermediate queries happen or not.
     fn steady_ticks(&mut self, tick: u64, dt: Seconds) -> u64 {
         let dt_s = dt.as_seconds();
         let est = self.next_switch / dt_s - tick as f64;
@@ -787,9 +820,71 @@ mod tests {
         // A fine step lands ticks right on burst edges.
         let skipped = check_steady_contract(make(), make(), 20_000, 0.05);
         assert!(skipped > 5_000, "only {skipped} ticks skipped");
-        // Before the first query nothing is cached, so nothing is promised.
-        assert_eq!(make().steady_ticks(0, Seconds::new(0.5)), 0);
         assert_eq!(make().power_bound(), Some(Power::from_milliwatts(1.0)));
+        // Windows are pure, so steadiness is promised even before the first
+        // query — and the promise must hold against fresh samples.
+        let mut probe = make();
+        let dt = Seconds::new(0.5);
+        let h = probe.steady_ticks(0, dt);
+        let anchor = make().power_at(Seconds::new(0.0)).value().to_bits();
+        for j in 1..=h {
+            let p = make().power_at(Seconds::new(j as f64 * 0.5)).value().to_bits();
+            assert_eq!(p, anchor, "tick {j} inside the unanchored window differs");
+        }
+    }
+
+    /// PR 9 regression: probing an older cycle after the sequential jitter
+    /// stream had moved on used to redraw *different* jitter for the same
+    /// cycle.  Counter indexing makes the window a pure function of the
+    /// cycle, whatever the query order.
+    #[test]
+    fn rfid_cycle_windows_are_pure_in_the_cycle_index() {
+        let s = RfidSource::new(Power::from_milliwatts(0.6), Seconds::new(5.0), 0.2, 0.2, 11);
+        let forward: Vec<(f64, f64)> = (0..100).map(|c| s.cycle_window(c)).collect();
+        let shuffled_order = [57_u64, 3, 99, 0, 42, 42, 7, 98, 1, 57];
+        for &c in &shuffled_order {
+            assert_eq!(s.cycle_window(c), forward[c as usize], "cycle {c}");
+        }
+        // The same holds through `power_at`, state and all: sampling late
+        // cycles first must not perturb early cycles.
+        let mut ordered = RfidSource::typical(42);
+        let mut scrambled = RfidSource::typical(42);
+        let _ = scrambled.power_at(Seconds::new(1000.0));
+        for i in 0..4_000_u64 {
+            let t = Seconds::new(i as f64 * 0.05);
+            assert_eq!(ordered.power_at(t), scrambled.power_at(t), "tick {i}");
+        }
+    }
+
+    /// Night stretches are steady with nothing to replay: an instance that
+    /// skips every vouched window stays bit-identical to a naive per-tick
+    /// walk, including across the day/night boundaries.
+    #[test]
+    fn solar_steady_windows_cover_the_night() {
+        for seed in 0..8_u64 {
+            let make =
+                || SolarSource::new(Power::from_milliwatts(0.8), Seconds::new(1000.0), 0.4, seed);
+            // 4000 ticks at 0.5 s span two full days; nights are half of
+            // each day, so at least ~1/3 of all ticks must be skippable.
+            let skipped = check_steady_contract(make(), make(), 4_000, 0.5);
+            assert!(skipped > 1_300, "seed {seed}: only {skipped} skipped");
+        }
+    }
+
+    /// Cloud noise is indexed by the query instant, so solar samples are
+    /// pure in `t` — querying out of order changes nothing.
+    #[test]
+    fn solar_samples_are_pure_in_the_query_time() {
+        let mut ordered =
+            SolarSource::new(Power::from_milliwatts(5.0), Seconds::new(1000.0), 0.3, 3);
+        let mut scrambled =
+            SolarSource::new(Power::from_milliwatts(5.0), Seconds::new(1000.0), 0.3, 3);
+        let _ = scrambled.power_at(Seconds::new(500.0));
+        let _ = scrambled.power_at(Seconds::new(710.0));
+        for i in 0..2_000_u64 {
+            let t = Seconds::new(i as f64 * 0.5);
+            assert_eq!(ordered.power_at(t), scrambled.power_at(t), "tick {i}");
+        }
     }
 
     #[test]

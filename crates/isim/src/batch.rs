@@ -49,22 +49,23 @@
 //! hoisted into a register, and ticks are burnt by a two-tier loop:
 //!
 //! * **steady windows** — where [`HarvestSource::steady_ticks`] proves the
-//!   source repeats the current sample bit-exactly with no internal state
-//!   to advance (segment plateaus, Markov dwells, solar nights), whole
+//!   source repeats the current sample bit-exactly (segment plateaus,
+//!   Markov dwells, solar nights, RFID rests spanning a cycle wrap), whole
 //!   windows are burnt without querying the source at all: corridor
 //!   proofs (no clip at the capacity, no saturation at zero) select a
 //!   specialised loop running *exactly the per-tick arithmetic sequence*
-//!   of the scalar executor, and [`HarvestSource::skip_ticks`] replays
-//!   whatever randomness the skipped queries would have drawn.  A probe
-//!   credit — each probe spends one, each burnt window earns them back —
-//!   stops re-probing sources that alternate faster than a window pays.
-//! * **checked ticks** — otherwise the source is queried every tick in
-//!   scalar order (stochastic draws advance its RNG), and the tick is
-//!   burnt with the FSM checks still hoisted as long as the distance
-//!   budget covers the sample's *actual* energy move.  When it no longer
-//!   does, the drawn sample is handed to the full-fidelity path through
-//!   `pending`, so the query — and the RNG advance behind it — happens
-//!   exactly once per tick.
+//!   of the scalar executor.  Source randomness is counter-indexed
+//!   ([`ehsim::crng`]) — a pure function of `(seed, index)` — so the
+//!   elided queries leave no stream to advance and the skip costs O(1),
+//!   no replay bookkeeping.  A probe credit — each probe spends one, each
+//!   burnt window earns them back — stops re-probing sources that
+//!   alternate faster than a window pays.
+//! * **checked ticks** — otherwise the source is queried every tick
+//!   (solar daylight genuinely varies per tick), and the tick is burnt
+//!   with the FSM checks still hoisted as long as the distance budget
+//!   covers the sample's *actual* energy move.  When it no longer does,
+//!   the drawn sample is handed to the full-fidelity path through
+//!   `pending`, so the query happens exactly once per tick.
 //!
 //! The timer poll, threshold comparisons, safe-zone bookkeeping and FSM
 //! dispatch are hoisted out of both tiers (each proven a no-op for the
@@ -88,9 +89,10 @@
 //! columns are untouched.  Fast-forwarded ticks preserve the argument
 //! tick for tick: they run the same floating-point sequence on the same
 //! values (the hoisted checks are pure reads whose outcomes are proven
-//! constant over the window, and skipped source queries are covered by the
-//! [`HarvestSource::steady_ticks`] contract), so not a single bit of lane
-//! state can differ from the naive per-tick loop.
+//! constant over the window, and elided source queries are covered by the
+//! [`HarvestSource::steady_ticks`] contract — counter-indexed draws mean
+//! they leave no state behind), so not a single bit of lane state can
+//! differ from the naive per-tick loop.
 
 use std::collections::VecDeque;
 
@@ -373,8 +375,8 @@ impl BatchTelemetry {
 const BLOCK_TICKS: u64 = 4096;
 
 /// Smallest proven-steady window worth entering the window burn for: below
-/// this the per-window setup (budget fit, corridor proofs, `skip_ticks`)
-/// costs more than the checked ticks it replaces.
+/// this the per-window setup (budget fit, corridor proofs) costs more than
+/// the checked ticks it replaces.
 const MIN_WINDOW: u64 = 3;
 
 impl<S: HarvestSource> BatchExecutor<S> {
@@ -821,19 +823,18 @@ impl<S: HarvestSource> BatchExecutor<S> {
                         }
                     }
                     dist -= h as f64 * step_mag;
-                    source.skip_ticks(i - 1, h, dt);
                     avail_left -= h;
                     probe_credit += h;
                     steady += h;
                     fast += h;
                     i += h;
                 } else {
-                    // Checked tier: the source must be queried every tick
-                    // (stochastic draws advance its RNG), but the FSM checks
-                    // stay hoisted while the distance budget covers this
-                    // tick's *actual* move — the sample is drawn first, in
-                    // scalar order, so the bound is `max(offered, leak)`
-                    // rather than the source's worst case.
+                    // Checked tier: the source vouches for nothing here (its
+                    // sample may genuinely change per tick), but the FSM
+                    // checks stay hoisted while the distance budget covers
+                    // this tick's *actual* move — the sample is drawn first,
+                    // so the bound is `max(offered, leak)` rather than the
+                    // source's worst case.
                     let power = source.power_at(Seconds::new(i as f64 * dt_s));
                     let incoming = power.value().max(0.0) * dt_s;
                     let move_bound = incoming.max(ls);

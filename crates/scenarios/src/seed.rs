@@ -4,15 +4,15 @@
 //! campaign seed.  [`mix`] is a SplitMix64-style finalizer over the pair —
 //! the same construction the compat `rand::StdRng` uses for seed expansion —
 //! so nearby inputs (seed, 0), (seed, 1), … land far apart in the output
-//! space.
+//! space.  Since PR 9 the finalizer lives in [`ehsim::crng::mix64`], where
+//! it also serves as the per-draw function of the counter-indexed source
+//! streams; this module keeps the seed-derivation entry point (the output
+//! values are unchanged, so derived scenario seeds are stable).
 
 /// Mixes two 64-bit values into one well-distributed seed.
 #[must_use]
 pub fn mix(a: u64, b: u64) -> u64 {
-    let mut z = (a ^ 0xA076_1D64_78BD_642F).wrapping_add(b.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    ehsim::crng::mix64(a, b)
 }
 
 #[cfg(test)]

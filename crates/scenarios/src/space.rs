@@ -290,16 +290,6 @@ impl HarvestSource for AnySource {
         }
     }
 
-    fn skip_ticks(&mut self, from_tick: u64, skipped: u64, dt: Seconds) {
-        match self {
-            AnySource::Constant(s) => s.skip_ticks(from_tick, skipped, dt),
-            AnySource::Rfid(s) => s.skip_ticks(from_tick, skipped, dt),
-            AnySource::Solar(s) => s.skip_ticks(from_tick, skipped, dt),
-            AnySource::Markov(s) => s.skip_ticks(from_tick, skipped, dt),
-            AnySource::Piecewise(s) => s.skip_ticks(from_tick, skipped, dt),
-        }
-    }
-
     fn power_bound(&self) -> Option<Power> {
         match self {
             AnySource::Constant(s) => s.power_bound(),
@@ -357,16 +347,6 @@ impl HarvestSource for LaneSource {
             LaneSource::Solar(s) => s.steady_ticks(tick, dt),
             LaneSource::Markov(s) => s.steady_ticks(tick, dt),
             LaneSource::Piecewise(s) => s.steady_ticks(tick, dt),
-        }
-    }
-
-    fn skip_ticks(&mut self, from_tick: u64, skipped: u64, dt: Seconds) {
-        match self {
-            LaneSource::Constant(s) => s.skip_ticks(from_tick, skipped, dt),
-            LaneSource::Rfid(s) => s.skip_ticks(from_tick, skipped, dt),
-            LaneSource::Solar(s) => s.skip_ticks(from_tick, skipped, dt),
-            LaneSource::Markov(s) => s.skip_ticks(from_tick, skipped, dt),
-            LaneSource::Piecewise(s) => s.skip_ticks(from_tick, skipped, dt),
         }
     }
 
