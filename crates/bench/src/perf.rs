@@ -65,6 +65,22 @@ pub const DEFAULT_MAX_REGRESSION: f64 = 0.25;
 /// windows stopped being recognised somewhere.
 pub const FAST_FORWARD_DROP_TOLERANCE: f64 = 0.05;
 
+/// Minimum same-report speedup of `campaign_216_batch` over `campaign_216`:
+/// the batch engine's reason to exist is a multiple, not a margin, so the
+/// gate fails when the scalar median is less than this factor above the
+/// batch median.  Judged within one report — both medians come from the
+/// same machine and the same run, so the ratio is immune to host noise that
+/// the absolute baseline comparison has to tolerate.
+///
+/// Calibration: quiet-host medians after the exact-accumulator work sit at
+/// ~1.5–1.65x (scalar ~13.4 ms, batch ~8.4 ms).  The ratio is capped by the
+/// sample-bound families — RFID and solar windows are a handful of ticks, so
+/// the batch engine still has to draw nearly every sample the scalar loop
+/// draws (see DESIGN.md, "Exact integer accumulators").  1.4 is the floor
+/// the measurements support with margin; raising it further needs a
+/// piecewise-constant window API on the stochastic sources (ROADMAP).
+pub const BATCH_MIN_SPEEDUP: f64 = 1.4;
+
 /// Timing record of one fixed benchmark.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
@@ -382,6 +398,12 @@ impl Comparison {
 /// Compares `current` against `baseline` with the given noise threshold.
 #[must_use]
 pub fn compare(baseline: &PerfReport, current: &PerfReport, max_regression: f64) -> Comparison {
+    // The scalar/batch campaign pair is judged by the same-report speedup
+    // ratio below instead of the absolute-median threshold: absolute gates
+    // on the two slowest benchmarks kept tripping on slow host-days while
+    // the ratio — both medians from the same run — stayed stable.  They
+    // still fail the gate when missing.
+    const RATIO_GATED: [&str; 2] = ["campaign_216", "campaign_216_batch"];
     let mut deltas = Vec::new();
     let mut missing = Vec::new();
     for base in &baseline.benchmarks {
@@ -392,12 +414,13 @@ pub fn compare(baseline: &PerfReport, current: &PerfReport, max_regression: f64)
                 } else {
                     now.median_ns as f64 / base.median_ns as f64
                 };
+                let ratio_gated = RATIO_GATED.contains(&base.name.as_str());
                 deltas.push(BenchDelta {
                     name: base.name.clone(),
                     baseline_ns: base.median_ns,
                     current_ns: now.median_ns,
                     ratio,
-                    regressed: ratio > 1.0 + max_regression,
+                    regressed: !ratio_gated && ratio > 1.0 + max_regression,
                 });
             }
             None => missing.push(base.name.clone()),
@@ -432,6 +455,18 @@ pub fn compare(baseline: &PerfReport, current: &PerfReport, max_regression: f64)
                  median ({}) — the batch engine must not lose to the per-scenario loop",
                 fmt_ns(batch.median_ns),
                 fmt_ns(scalar.median_ns)
+            ));
+        }
+        let speedup = if batch.median_ns == 0 {
+            f64::INFINITY
+        } else {
+            scalar.median_ns as f64 / batch.median_ns as f64
+        };
+        if speedup < BATCH_MIN_SPEEDUP {
+            violations.push(format!(
+                "batch-engine speedup (`campaign_216` / `campaign_216_batch`) is only \
+                 {speedup:.2}x — the gate requires at least {BATCH_MIN_SPEEDUP:.1}x \
+                 within the same report",
             ));
         }
     }
@@ -785,7 +820,9 @@ mod tests {
         let slow = report("pr", &[("campaign_216", 1_000_000), ("campaign_216_batch", 1_500_000)]);
         let comparison = compare(&slow, &slow, 0.25);
         assert!(comparison.deltas.iter().all(|d| !d.regressed));
-        assert_eq!(comparison.violations.len(), 1);
+        // Slower than scalar trips both the ordering invariant and the
+        // minimum-speedup ratio.
+        assert_eq!(comparison.violations.len(), 2);
         assert!(!comparison.passed());
         assert!(comparison.to_markdown().contains("VIOLATION"));
 
@@ -795,6 +832,56 @@ mod tests {
         assert!(comparison.passed());
         // The report-side markdown quotes the speedup ratio.
         assert!(fast.to_markdown().contains("**7.50x**"), "{}", fast.to_markdown());
+    }
+
+    #[test]
+    fn a_batch_speedup_below_the_minimum_ratio_fails_the_gate() {
+        // Faster than scalar, but not by the required multiple: 1.30x was
+        // roughly the pre-PR-10 state of the world and must no longer pass.
+        let shallow =
+            report("pr", &[("campaign_216", 1_300_000), ("campaign_216_batch", 1_000_000)]);
+        let comparison = compare(&shallow, &shallow, 0.25);
+        assert_eq!(comparison.violations.len(), 1);
+        assert!(!comparison.passed());
+        assert!(comparison.to_markdown().contains("speedup"), "{}", comparison.to_markdown());
+
+        // Exactly at the threshold passes (the gate is `< BATCH_MIN_SPEEDUP`).
+        let at = report("pr", &[("campaign_216", 1_400_000), ("campaign_216_batch", 1_000_000)]);
+        assert!(compare(&at, &at, 0.25).passed());
+    }
+
+    #[test]
+    fn the_campaign_pair_is_ratio_gated_not_absolute_gated() {
+        // Both campaign medians doubling against the baseline (a slow
+        // host-day) must not trip the absolute threshold — the same-report
+        // speedup ratio is their gate.  A non-campaign benchmark doubling
+        // alongside them still regresses.
+        let baseline = report(
+            "baseline",
+            &[("campaign_216", 1_500_000), ("campaign_216_batch", 1_000_000), ("a", 1_000)],
+        );
+        let slow_host = report(
+            "pr",
+            &[("campaign_216", 3_000_000), ("campaign_216_batch", 2_000_000), ("a", 1_000)],
+        );
+        let comparison = compare(&baseline, &slow_host, 0.25);
+        assert!(comparison.deltas.iter().all(|d| !d.regressed));
+        assert!(comparison.passed());
+
+        let mixed = report(
+            "pr",
+            &[("campaign_216", 3_000_000), ("campaign_216_batch", 2_000_000), ("a", 2_000)],
+        );
+        let comparison = compare(&baseline, &mixed, 0.25);
+        assert!(comparison.deltas.iter().any(|d| d.name == "a" && d.regressed));
+        assert!(!comparison.passed());
+
+        // The exemption does not waive presence: a dropped campaign
+        // benchmark is still a failure.
+        let gone = report("pr", &[("campaign_216", 1_500_000), ("a", 1_000)]);
+        let comparison = compare(&baseline, &gone, 0.25);
+        assert_eq!(comparison.missing, vec!["campaign_216_batch".to_string()]);
+        assert!(!comparison.passed());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! the per-call linear segment scan with a monotone cursor — the piecewise
 //! lookup is O(1) per tick instead of O(segments).
 
-use tech45::units::{Capacitance, Energy, Power, Seconds};
+use tech45::units::{Capacitance, Energy, EnergyFx, Power, Seconds};
 
 use crate::capacitor::{Capacitor, EnergyCell};
 use crate::source::{HarvestSource, PiecewiseSource};
@@ -34,8 +34,8 @@ use crate::source::{HarvestSource, PiecewiseSource};
 #[derive(Debug, Clone, Default)]
 pub struct CapacitorBank {
     capacitance: Vec<Capacitance>,
-    max_energy: Vec<Energy>,
-    energy: Vec<Energy>,
+    max_energy: Vec<EnergyFx>,
+    energy: Vec<EnergyFx>,
     leak: Vec<Power>,
 }
 
@@ -67,8 +67,8 @@ impl CapacitorBank {
     /// continuous leakage draw.  Returns the lane index.
     pub fn push(&mut self, capacitor: &Capacitor, leak: Power) -> usize {
         self.capacitance.push(capacitor.capacitance());
-        self.max_energy.push(capacitor.max_energy());
-        self.energy.push(capacitor.energy());
+        self.max_energy.push(capacitor.max_energy_fx());
+        self.energy.push(capacitor.energy_fx());
         self.leak.push(leak);
         self.energy.len() - 1
     }
@@ -77,20 +77,20 @@ impl CapacitorBank {
     /// retire/refill contract).
     pub fn reset_lane(&mut self, lane: usize, capacitor: &Capacitor, leak: Power) {
         self.capacitance[lane] = capacitor.capacitance();
-        self.max_energy[lane] = capacitor.max_energy();
-        self.energy[lane] = capacitor.energy();
+        self.max_energy[lane] = capacitor.max_energy_fx();
+        self.energy[lane] = capacitor.energy_fx();
         self.leak[lane] = leak;
     }
 
     /// The stored-energy column.
     #[must_use]
-    pub fn energies(&self) -> &[Energy] {
+    pub fn energies(&self) -> &[EnergyFx] {
         &self.energy
     }
 
     /// The capacity column.
     #[must_use]
-    pub fn max_energies(&self) -> &[Energy] {
+    pub fn max_energies(&self) -> &[EnergyFx] {
         &self.max_energy
     }
 
@@ -100,9 +100,16 @@ impl CapacitorBank {
         &self.leak
     }
 
-    /// One lane's stored energy.
+    /// One lane's stored energy, converted to floating point (for
+    /// diagnostics; the exact column value is [`Self::energy_fx`]).
     #[must_use]
     pub fn energy(&self, lane: usize) -> Energy {
+        self.energy[lane].to_energy()
+    }
+
+    /// One lane's stored energy in the exact fixed-point unit.
+    #[must_use]
+    pub fn energy_fx(&self, lane: usize) -> EnergyFx {
         self.energy[lane]
     }
 
@@ -122,20 +129,20 @@ impl CapacitorBank {
 
     /// Integrates `power` harvested over `dt` into one lane, returning the
     /// energy actually banked (identical to [`Capacitor::harvest`]).
-    pub fn harvest(&mut self, lane: usize, power: Power, dt: Seconds) -> Energy {
+    pub fn harvest(&mut self, lane: usize, power: Power, dt: Seconds) -> EnergyFx {
         self.cell(lane).harvest(power, dt)
     }
 
     /// Writes one lane's stored energy back — the block write-back of the
     /// batch executor, whose hot loop evolves a register-resident copy of
     /// the lane through the shared [`EnergyCell`] physics.
-    pub fn set_energy(&mut self, lane: usize, energy: Energy) {
+    pub fn set_energy(&mut self, lane: usize, energy: EnergyFx) {
         self.energy[lane] = energy;
     }
 
     /// Drains one lane's configured leakage over `dt` (identical to
     /// [`Capacitor::drain_power`] with the lane's leak power).
-    pub fn drain_leakage(&mut self, lane: usize, dt: Seconds) -> Energy {
+    pub fn drain_leakage(&mut self, lane: usize, dt: Seconds) -> EnergyFx {
         let leak = self.leak[lane];
         self.cell(lane).drain_power(leak, dt)
     }
@@ -243,11 +250,11 @@ mod tests {
             let power = Power::from_milliwatts(f64::from(step % 7) * 0.1);
             for (lane, cap) in scalars.iter_mut().enumerate() {
                 let banked = bank.harvest(lane, power, dt);
-                assert_eq!(banked.value().to_bits(), cap.harvest(power, dt).value().to_bits());
+                assert_eq!(banked, cap.harvest(power, dt));
                 let leaked = bank.drain_leakage(lane, dt);
                 let expected = cap.drain_power(Power::from_microwatts(10.0), dt);
-                assert_eq!(leaked.value().to_bits(), expected.value().to_bits());
-                assert_eq!(bank.energy(lane).value().to_bits(), cap.energy().value().to_bits());
+                assert_eq!(leaked, expected);
+                assert_eq!(bank.energy_fx(lane), cap.energy_fx());
             }
         }
         for (lane, cap) in scalars.iter().enumerate() {

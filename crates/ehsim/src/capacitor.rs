@@ -1,10 +1,19 @@
 //! The virtual energy source: a storage capacitor.
+//!
+//! Stored energy is kept in the exact fixed-point unit
+//! [`EnergyFx`] (i128 attojoules, see DESIGN.md "Exact integer
+//! accumulators"): floating-point [`Energy`] amounts are quantised to the
+//! nearest attojoule exactly once, at this boundary, and every mutation
+//! below it is integer arithmetic.  That makes per-tick energy updates
+//! associative, which is what lets the batch executor collapse quiescent
+//! stretches into closed-form multiply-adds while staying bit-identical to
+//! the scalar path.
 
 use std::fmt;
 
 use tech45::constants::{E_MAX, STORAGE_CAPACITANCE, VDD_SYSTEM};
 use tech45::units::{
-    capacitor_energy, capacitor_voltage, Capacitance, Energy, Power, Seconds, Voltage,
+    capacitor_energy, capacitor_voltage, Capacitance, Energy, EnergyFx, Power, Seconds, Voltage,
 };
 
 /// A storage capacitor that accumulates harvested energy and supplies the
@@ -14,8 +23,8 @@ use tech45::units::{
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Capacitor {
     capacitance: Capacitance,
-    max_energy: Energy,
-    energy: Energy,
+    max_energy: EnergyFx,
+    energy: EnergyFx,
 }
 
 impl Capacitor {
@@ -23,8 +32,8 @@ impl Capacitor {
     /// empty.
     #[must_use]
     pub fn new(capacitance: Capacitance, max_voltage: Voltage) -> Self {
-        let max_energy = capacitor_energy(capacitance, max_voltage);
-        Self { capacitance, max_energy, energy: Energy::ZERO }
+        let max_energy = capacitor_energy(capacitance, max_voltage).to_fx();
+        Self { capacitance, max_energy, energy: EnergyFx::ZERO }
     }
 
     /// The paper's storage element: 2 mF at 5 V, E_MAX = 25 mJ, initially
@@ -34,17 +43,22 @@ impl Capacitor {
         Self::new(STORAGE_CAPACITANCE, VDD_SYSTEM)
     }
 
-    /// Sets the stored energy (clamped to `[0, max_energy]`) and returns the
-    /// capacitor, handy for starting a scenario from a known level.
+    /// Sets the stored energy (quantised to the fixed-point grid and clamped
+    /// to `[0, max_energy]`) and returns the capacitor, handy for starting a
+    /// scenario from a known level.
     #[must_use]
     pub fn with_energy(mut self, energy: Energy) -> Self {
-        self.energy = energy.clamp(Energy::ZERO, self.max_energy);
+        self.energy = energy.to_fx().clamp(EnergyFx::ZERO, self.max_energy);
         self
     }
 
     /// Rebuilds a capacitor from its raw columns (the bank-lane inverse of
-    /// [`Self::capacitance`] / [`Self::max_energy`] / [`Self::energy`]).
-    pub(crate) fn from_raw(capacitance: Capacitance, max_energy: Energy, energy: Energy) -> Self {
+    /// [`Self::capacitance`] / [`Self::max_energy_fx`] / [`Self::energy_fx`]).
+    pub(crate) fn from_raw(
+        capacitance: Capacitance,
+        max_energy: EnergyFx,
+        energy: EnergyFx,
+    ) -> Self {
         Self { capacitance, max_energy, energy }
     }
 
@@ -57,19 +71,32 @@ impl Capacitor {
     /// Maximum storable energy (25 mJ for the paper's parameters).
     #[must_use]
     pub fn max_energy(&self) -> Energy {
+        self.max_energy.to_energy()
+    }
+
+    /// Maximum storable energy in the exact fixed-point unit.
+    #[must_use]
+    pub fn max_energy_fx(&self) -> EnergyFx {
         self.max_energy
     }
 
-    /// Currently stored energy.
+    /// Currently stored energy (converted to floating point for display and
+    /// diagnostics; the exact value is [`Self::energy_fx`]).
     #[must_use]
     pub fn energy(&self) -> Energy {
+        self.energy.to_energy()
+    }
+
+    /// Currently stored energy in the exact fixed-point unit.
+    #[must_use]
+    pub fn energy_fx(&self) -> EnergyFx {
         self.energy
     }
 
     /// Current capacitor voltage.
     #[must_use]
     pub fn voltage(&self) -> Voltage {
-        capacitor_voltage(self.capacitance, self.energy)
+        capacitor_voltage(self.capacitance, self.energy.to_energy())
     }
 
     /// Fraction of the capacity currently used, in `[0, 1]`.
@@ -78,7 +105,7 @@ impl Capacitor {
         if self.max_energy.is_non_positive() {
             return 0.0;
         }
-        self.energy.ratio(self.max_energy)
+        self.energy.attojoules() as f64 / self.max_energy.attojoules() as f64
     }
 
     /// Whether the capacitor is at its maximum energy.
@@ -96,7 +123,7 @@ impl Capacitor {
     /// Integrates `power` harvested over `dt`.  Energy above the capacity is
     /// discarded (the harvester front-end clamps at V_max).  Returns the
     /// energy actually banked.
-    pub fn harvest(&mut self, power: Power, dt: Seconds) -> Energy {
+    pub fn harvest(&mut self, power: Power, dt: Seconds) -> EnergyFx {
         self.cell().harvest(power, dt)
     }
 
@@ -104,6 +131,7 @@ impl Capacitor {
     /// energy if enough is stored; returns `false` and leaves the capacitor
     /// untouched otherwise (the operation cannot start).
     pub fn try_consume(&mut self, amount: Energy) -> bool {
+        let amount = amount.to_fx();
         if amount <= self.energy {
             self.energy -= amount;
             true
@@ -115,12 +143,12 @@ impl Capacitor {
     /// Draws `amount` of energy, saturating at zero.  Returns the energy that
     /// was actually drained.  This models continuous loads such as leakage,
     /// which keep discharging the capacitor no matter how little is left.
-    pub fn drain(&mut self, amount: Energy) -> Energy {
+    pub fn drain(&mut self, amount: Energy) -> EnergyFx {
         self.cell().drain(amount)
     }
 
     /// Convenience for draining a constant `power` over `dt`.
-    pub fn drain_power(&mut self, power: Power, dt: Seconds) -> Energy {
+    pub fn drain_power(&mut self, power: Power, dt: Seconds) -> EnergyFx {
         self.cell().drain_power(power, dt)
     }
 
@@ -141,10 +169,12 @@ impl Capacitor {
 /// saturating drains) is defined *here*, once; the scalar capacitor and the
 /// structure-of-arrays bank both delegate to it, which is what makes the
 /// batched executor bit-identical to the scalar one by construction.
+/// Floating-point amounts are quantised to the attojoule grid exactly once
+/// per call, and everything after that point is exact integer arithmetic.
 #[derive(Debug)]
 pub struct EnergyCell<'a> {
-    energy: &'a mut Energy,
-    max_energy: Energy,
+    energy: &'a mut EnergyFx,
+    max_energy: EnergyFx,
 }
 
 impl EnergyCell<'_> {
@@ -152,30 +182,40 @@ impl EnergyCell<'_> {
     /// used by executors that keep a lane's energy in a local while
     /// fast-forwarding and need the shared step arithmetic for the
     /// full-fidelity ticks in between.
-    pub fn from_parts(energy: &mut Energy, max_energy: Energy) -> EnergyCell<'_> {
+    pub fn from_parts(energy: &mut EnergyFx, max_energy: EnergyFx) -> EnergyCell<'_> {
         EnergyCell { energy, max_energy }
     }
 
     /// Currently stored energy.
     #[must_use]
     #[inline]
-    pub fn energy(&self) -> Energy {
+    pub fn energy(&self) -> EnergyFx {
         *self.energy
     }
 
     /// Maximum storable energy of this lane.
     #[must_use]
-    pub fn max_energy(&self) -> Energy {
+    pub fn max_energy(&self) -> EnergyFx {
         self.max_energy
     }
 
     /// Integrates `power` harvested over `dt`, clamping at the capacity.
     /// Returns the energy actually banked (see [`Capacitor::harvest`]).
+    ///
+    /// The offered energy `max(power, 0) · dt` is computed in f64 and
+    /// quantised once; the clamp against the remaining headroom is integer.
     #[inline]
-    pub fn harvest(&mut self, power: Power, dt: Seconds) -> Energy {
-        let incoming = power.max(Power::ZERO) * dt;
+    pub fn harvest(&mut self, power: Power, dt: Seconds) -> EnergyFx {
+        self.harvest_fx((power.max(Power::ZERO) * dt).to_fx())
+    }
+
+    /// Banks an already-quantised offered amount, clamping at the capacity.
+    /// The tick loops use this to quantise `power · dt` exactly once per
+    /// tick — they need the offered value anyway, for the clipped total.
+    #[inline]
+    pub fn harvest_fx(&mut self, incoming: EnergyFx) -> EnergyFx {
         let headroom = self.max_energy - *self.energy;
-        let banked = incoming.min(headroom).max(Energy::ZERO);
+        let banked = incoming.min(headroom).max(EnergyFx::ZERO);
         *self.energy += banked;
         banked
     }
@@ -183,16 +223,23 @@ impl EnergyCell<'_> {
     /// Draws `amount` of energy, saturating at zero.  Returns the energy
     /// actually drained (see [`Capacitor::drain`]).
     #[inline]
-    pub fn drain(&mut self, amount: Energy) -> Energy {
-        let drained = amount.max(Energy::ZERO).min(*self.energy);
+    pub fn drain(&mut self, amount: Energy) -> EnergyFx {
+        self.drain_fx(amount.to_fx())
+    }
+
+    /// Draws an already-quantised `amount`, saturating at zero.  Returns the
+    /// energy actually drained.
+    #[inline]
+    pub fn drain_fx(&mut self, amount: EnergyFx) -> EnergyFx {
+        let drained = amount.max(EnergyFx::ZERO).min(*self.energy);
         *self.energy -= drained;
         drained
     }
 
     /// Convenience for draining a constant `power` over `dt`.
     #[inline]
-    pub fn drain_power(&mut self, power: Power, dt: Seconds) -> Energy {
-        self.drain(power.max(Power::ZERO) * dt)
+    pub fn drain_power(&mut self, power: Power, dt: Seconds) -> EnergyFx {
+        self.drain_fx((power.max(Power::ZERO) * dt).to_fx())
     }
 }
 
@@ -250,7 +297,7 @@ mod tests {
     fn negative_power_is_treated_as_zero() {
         let mut cap = Capacitor::paper_default().with_energy(Energy::from_millijoules(5.0));
         let banked = cap.harvest(Power::from_milliwatts(-3.0), Seconds::new(10.0));
-        assert_eq!(banked, Energy::ZERO);
+        assert_eq!(banked, EnergyFx::ZERO);
         assert!((cap.energy().as_millijoules() - 5.0).abs() < 1e-12);
     }
 
@@ -270,7 +317,7 @@ mod tests {
         assert!((drained.as_millijoules() - 1.0).abs() < 1e-12);
         assert!(cap.is_empty());
         let drained = cap.drain(Energy::from_millijoules(1.0));
-        assert_eq!(drained, Energy::ZERO);
+        assert_eq!(drained, EnergyFx::ZERO);
     }
 
     #[test]
@@ -300,6 +347,19 @@ mod tests {
         cell.drain_power(Power::from_milliwatts(1.0), Seconds::new(1.0));
         assert!((cell.energy().as_millijoules() - 5.0).abs() < 1e-12);
         assert!((cap.energy().as_millijoules() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantisation_happens_once_at_the_boundary() {
+        // Identical f64 power×dt products quantise to identical fixed-point
+        // amounts, so repeating a tick k times equals one k-fold multiply-add.
+        let mut cap = Capacitor::paper_default();
+        let per_tick = cap.harvest(Power::from_microwatts(137.3), Seconds::new(0.25));
+        for _ in 0..499 {
+            let banked = cap.harvest(Power::from_microwatts(137.3), Seconds::new(0.25));
+            assert_eq!(banked, per_tick);
+        }
+        assert_eq!(cap.energy_fx(), per_tick * 500);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use std::fmt;
 
 use tech45::constants::{E_COMPUTE, E_MAX, E_SENSE, E_TRANSMIT, SAFE_ZONE_MARGIN};
-use tech45::units::Energy;
+use tech45::units::{Energy, EnergyFx};
 
 /// The six energy thresholds of the DIAC node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,6 +93,42 @@ impl Thresholds {
             OperatingZone::Active
         }
     }
+
+    /// Quantises the six thresholds onto the exact fixed-point energy grid.
+    ///
+    /// The simulation FSM compares stored energy against thresholds in
+    /// [`EnergyFx`] natively — never through an f64 round-trip, whose
+    /// rounding (one ulp at 25 mJ is ≈ 3.5 aJ) could flip a comparison for
+    /// energies within an ulp of the threshold.
+    #[must_use]
+    pub fn fx(&self) -> ThresholdsFx {
+        ThresholdsFx {
+            sense: self.sense.to_fx(),
+            compute: self.compute.to_fx(),
+            transmit: self.transmit.to_fx(),
+            safe_zone: self.safe_zone.to_fx(),
+            backup: self.backup.to_fx(),
+            off: self.off.to_fx(),
+        }
+    }
+}
+
+/// The six thresholds quantised onto the fixed-point energy grid (see
+/// [`Thresholds::fx`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThresholdsFx {
+    /// Minimum energy to start a sense operation.
+    pub sense: EnergyFx,
+    /// Minimum energy to start a compute operation.
+    pub compute: EnergyFx,
+    /// Minimum energy to start a transmit operation.
+    pub transmit: EnergyFx,
+    /// Upper edge of the safe zone.
+    pub safe_zone: EnergyFx,
+    /// Below this a backup must be performed.
+    pub backup: EnergyFx,
+    /// Below this the system is off.
+    pub off: EnergyFx,
 }
 
 impl Default for Thresholds {
@@ -220,11 +256,11 @@ impl ThresholdBank {
     /// # Panics
     ///
     /// Panics if `energies` or `zones` are shorter than the bank.
-    pub fn zones_into(&self, energies: &[Energy], zones: &mut [OperatingZone]) {
+    pub fn zones_into(&self, energies: &[EnergyFx], zones: &mut [OperatingZone]) {
         assert!(energies.len() >= self.len(), "energy column shorter than the bank");
         assert!(zones.len() >= self.len(), "zone column shorter than the bank");
         for lane in 0..self.len() {
-            zones[lane] = self.lane(lane).zone(energies[lane]);
+            zones[lane] = self.lane(lane).zone(energies[lane].to_energy());
         }
     }
 }
@@ -438,7 +474,7 @@ mod tests {
         assert_eq!(bank.offs()[1], sets[1].off);
         for mj in [0.5, 3.0, 4.5, 5.5, 6.5, 12.0, 24.9] {
             let energy = Energy::from_millijoules(mj);
-            let energies = [energy; 3];
+            let energies = [energy.to_fx(); 3];
             let mut zones = [OperatingZone::Off; 3];
             bank.zones_into(&energies, &mut zones);
             for (lane, t) in sets.iter().enumerate() {

@@ -17,6 +17,24 @@ use crate::crng::CounterRng;
 
 use tech45::units::{Power, Seconds};
 
+/// `(x.floor() as u64, x.fract())` without the libm `floor`/`trunc` calls
+/// that otherwise dominate the periodic samplers' hot paths.  For `x` in
+/// `[0, 2^53)` the integer part fits an `i64` exactly and round-trips through
+/// `f64` losslessly, so truncation *is* the floor and `x - (i as f64)` *is*
+/// the fractional part, bit for bit.  Anything outside that range (negative,
+/// huge, or non-finite) falls back to the libm pair, so the result is
+/// identical to `floor`/`fract` for every input.
+#[inline]
+fn split_cycles(x: f64) -> (u64, f64) {
+    const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if (0.0..EXACT).contains(&x) {
+        let i = x as u64;
+        (i, x - i as f64)
+    } else {
+        (x.floor() as u64, x.fract())
+    }
+}
+
 /// A source of ambient power.
 ///
 /// Implementations report the power available at an absolute simulation time.
@@ -100,11 +118,12 @@ pub struct RfidSource {
     duty_cycle: f64,
     jitter: f64,
     jitter_rng: CounterRng,
-    /// `(cycle, start, end)` memo of the last window [`Self::power_at`]
-    /// computed.  Windows are pure functions of the cycle, so the memo can
-    /// never go stale — it only saves the jitter mix on repeat queries of
-    /// the same cycle (several ticks per cycle on campaign grids).
-    window_memo: Option<(u64, f64, f64)>,
+    /// `(cycle, start, end)` memos of the last two windows computed, one
+    /// slot per cycle parity.  Windows are pure functions of the cycle, so
+    /// the memo can never go stale — it only saves the jitter mix on repeat
+    /// queries (several ticks per cycle on campaign grids, and the steady
+    /// probe asking about `cycle` and `cycle + 1` hits both slots).
+    window_memo: [Option<(u64, f64, f64)>; 2],
     steady_cache: Option<SteadyCache>,
 }
 
@@ -133,7 +152,7 @@ impl RfidSource {
             duty_cycle: duty_cycle.clamp(0.0, 1.0),
             jitter: jitter.clamp(0.0, 0.5),
             jitter_rng: CounterRng::new(seed),
-            window_memo: None,
+            window_memo: [None; 2],
             steady_cache: None,
         }
     }
@@ -160,15 +179,18 @@ impl RfidSource {
     }
 
     /// [`Self::cycle_window`] behind the memo — the hot-path variant for
-    /// repeat queries of the same cycle.
+    /// repeat queries of the same (or adjacent) cycles.  Parity-indexed
+    /// slots keep `cycle` and `cycle + 1` cached side by side, so the
+    /// steady probe's two window lookups never evict each other.
     fn cycle_window_memo(&mut self, cycle: u64) -> (f64, f64) {
-        if let Some((cached, start, end)) = self.window_memo {
+        let slot = (cycle & 1) as usize;
+        if let Some((cached, start, end)) = self.window_memo[slot] {
             if cached == cycle {
                 return (start, end);
             }
         }
         let (start, end) = self.cycle_window(cycle);
-        self.window_memo = Some((cycle, start, end));
+        self.window_memo[slot] = Some((cycle, start, end));
         (start, end)
     }
 }
@@ -179,8 +201,7 @@ impl HarvestSource for RfidSource {
             return Power::ZERO;
         }
         let cycles = t.as_seconds() / self.period.as_seconds();
-        let cycle = cycles.floor() as u64;
-        let phase = cycles.fract();
+        let (cycle, phase) = split_cycles(cycles);
         let (start, end) = self.cycle_window_memo(cycle);
         if phase >= start && phase < end {
             self.peak
@@ -226,13 +247,12 @@ impl HarvestSource for RfidSource {
         let period = self.period.as_seconds();
         let t0 = tick as f64 * dt_s;
         let cycles0 = t0 / period;
-        let cycle = cycles0.floor() as u64;
-        let phase0 = cycles0.fract();
+        let (cycle, phase0) = split_cycles(cycles0);
         // The cycle splits into three constant-power phase regions:
         // [0, start) off, [start, end) on, [end, 1) off — and the trailing
         // off region continues into [0, start') of cycle + 1.
-        let (start, end) = self.cycle_window(cycle);
-        let (next_start, _) = self.cycle_window(cycle + 1);
+        let (start, end) = self.cycle_window_memo(cycle);
+        let (next_start, _) = self.cycle_window_memo(cycle + 1);
         let on = phase0 >= start && phase0 < end;
         let hi_cycles = if phase0 < start {
             cycle as f64 + start
@@ -251,8 +271,7 @@ impl HarvestSource for RfidSource {
         // arithmetic verifies the whole window.
         let in_region = |j: u64| {
             let cj = ((tick + j) as f64 * dt_s) / period;
-            let c = cj.floor() as u64;
-            let phase = cj.fract();
+            let (c, phase) = split_cycles(cj);
             if on {
                 c == cycle && phase < end
             } else if c == cycle {
@@ -313,7 +332,7 @@ impl HarvestSource for SolarSource {
         if self.day_length.is_non_positive() {
             return Power::ZERO;
         }
-        let phase = (t.as_seconds() / self.day_length.as_seconds()).fract();
+        let phase = split_cycles(t.as_seconds() / self.day_length.as_seconds()).1;
         // Daylight between phase 0.25 and 0.75, zero at night.
         let sun = (std::f64::consts::PI * (phase * 2.0 - 0.5)).sin().max(0.0);
         if sun == 0.0 {
@@ -369,7 +388,7 @@ impl HarvestSource for SolarSource {
                 return 0;
             }
         }
-        let probe_phase = ((tick as f64 * dt_s) / day).fract();
+        let probe_phase = split_cycles((tick as f64 * dt_s) / day).1;
         if (0.25..=0.75).contains(&probe_phase) {
             let t0 = tick as f64 * dt_s;
             let sunset = ((t0 / day).floor() + 0.75) * day;
@@ -380,7 +399,7 @@ impl HarvestSource for SolarSource {
             return 0;
         }
         let dark = |tick: u64| -> bool {
-            let phase = ((tick as f64 * dt_s) / day).fract();
+            let phase = split_cycles((tick as f64 * dt_s) / day).1;
             (std::f64::consts::PI * (phase * 2.0 - 0.5)).sin() < 0.0
         };
         if !dark(tick) {

@@ -63,7 +63,7 @@ proptest! {
         let mut cap = Capacitor::paper_default().with_energy(initial);
         let start = cap.energy();
         let banked = cap.harvest(Power::from_milliwatts(amount_mj), Seconds::new(1.0));
-        prop_assert!(banked <= Energy::from_millijoules(amount_mj) + Energy::from_millijoules(1e-9));
+        prop_assert!(banked <= (Energy::from_millijoules(amount_mj) + Energy::from_millijoules(1e-9)).to_fx());
         let drained = cap.drain(Energy::from_millijoules(amount_mj));
         prop_assert!(cap.energy() <= start + Energy::from_millijoules(1e-9),
             "round trip gained energy: start {start}, end {}", cap.energy());
@@ -89,7 +89,7 @@ proptest! {
         let mut cap_hi = fresh();
         let banked_lo = cap_lo.harvest(Power::from_milliwatts(lo), Seconds::new(1.0));
         let banked_hi = cap_hi.harvest(Power::from_milliwatts(hi), Seconds::new(1.0));
-        prop_assert!(banked_lo <= banked_hi + Energy::from_millijoules(1e-12));
+        prop_assert!(banked_lo <= banked_hi + Energy::from_millijoules(1e-12).to_fx());
         prop_assert!(cap_lo.energy() <= cap_hi.energy() + Energy::from_millijoules(1e-12));
 
         let mut cap = fresh();

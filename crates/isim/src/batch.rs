@@ -46,20 +46,30 @@
 //!    — never guessing past it.
 //!
 //! Inside a stretch every accumulator the per-tick arithmetic touches is
-//! hoisted into a register, and ticks are burnt by a two-tier loop:
+//! hoisted into a register, and ticks are burnt by a two-tier loop running
+//! on the *exact integer* accumulator representation (tick counters for
+//! time, [`tech45::units::EnergyFx`] attojoules for energy — see DESIGN.md
+//! "Exact integer accumulators"):
 //!
 //! * **steady windows** — where [`HarvestSource::steady_ticks`] proves the
 //!   source repeats the current sample bit-exactly (segment plateaus,
 //!   Markov dwells, solar nights, RFID rests spanning a cycle wrap), whole
-//!   windows are burnt without querying the source at all: corridor
-//!   proofs (no clip at the capacity, no saturation at zero) select a
-//!   specialised loop running *exactly the per-tick arithmetic sequence*
-//!   of the scalar executor.  Source randomness is counter-indexed
-//!   ([`ehsim::crng`]) — a pure function of `(seed, index)` — so the
-//!   elided queries leave no stream to advance and the skip costs O(1),
-//!   no replay bookkeeping.  A probe credit — each probe spends one, each
-//!   burnt window earns them back — stops re-probing sources that
-//!   alternate faster than a window pays.
+//!   windows are burnt without querying the source at all.  Integer
+//!   corridor proofs (no clip at the capacity, no saturation at zero over
+//!   the window's exact arithmetic progression) reduce the `EnergyCell`
+//!   clamps to identities, and because integer addition is associative the
+//!   whole window collapses to one `e += k · net` multiply-add per
+//!   accumulator and one `count += k` per tick counter — O(1) per window,
+//!   not O(k).  When a clamp can bind, the per-tick integer loop runs only
+//!   until the energy reaches a fixed point, after which the remaining
+//!   ticks fold into exact multiply-adds too.  Source randomness is
+//!   counter-indexed ([`ehsim::crng`]) — a pure function of
+//!   `(seed, index)` — so the elided queries leave no stream to advance.
+//!   Probes are paced by a success-keyed exponential backoff (persisted
+//!   across a lane's stretches): a window long enough to repay its own
+//!   search licenses the next probe immediately, anything shorter defers
+//!   probing by a geometrically growing gap of checked ticks, so sources
+//!   that alternate faster than a window pays stop being searched.
 //! * **checked ticks** — otherwise the source is queried every tick
 //!   (solar daylight genuinely varies per tick), and the tick is burnt
 //!   with the FSM checks still hoisted as long as the distance budget
@@ -75,34 +85,40 @@
 //! # Why the batch is bit-identical to the scalar path
 //!
 //! Lanes never exchange data: each lane's trajectory is a pure function of
-//! its own [`BatchJob`].  Per lane, the executor performs *the same
-//! floating-point operations in the same order* as
+//! its own [`BatchJob`].  Per lane, the executor performs *the same exact
+//! arithmetic* as
 //! [`IntermittentExecutor::run`](crate::executor::IntermittentExecutor::run)
 //! — its per-step body is the scalar executor's, and the arithmetic is the
 //! shared [`ehsim::capacitor::EnergyCell`] / `fsm::FsmLaneMut` code the
-//! scalar types delegate to.  Interleaving whole-lane blocks across lanes
-//! cannot change any lane's result, so the per-scenario [`RunStats`] — and
-//! therefore every campaign digest — match the scalar oracle exactly.  The
-//! same argument covers retirement and refill: a freshly filled lane starts
-//! from the same boot state (`fsm::LaneState::boot`) with its own seeded
-//! RNG, exactly as a fresh scalar executor would, and its neighbours'
-//! columns are untouched.  Fast-forwarded ticks preserve the argument
-//! tick for tick: they run the same floating-point sequence on the same
-//! values (the hoisted checks are pure reads whose outcomes are proven
-//! constant over the window, and elided source queries are covered by the
-//! [`HarvestSource::steady_ticks`] contract — counter-indexed draws mean
-//! they leave no state behind), so not a single bit of lane state can
-//! differ from the naive per-tick loop.
+//! scalar types delegate to.  Floating-point inputs (`power × dt`
+//! products, operation slices) are quantised to the attojoule grid at the
+//! `EnergyCell` boundary — identically in both paths, as deterministic
+//! functions of identical f64 values — and every accumulator update below
+//! that boundary is integer arithmetic, which is associative: summing a
+//! window in one multiply-add equals summing it tick by tick, bit for bit.
+//! Interleaving whole-lane blocks across lanes cannot change any lane's
+//! result, so the per-scenario [`RunStats`] — and therefore every campaign
+//! digest — match the scalar oracle exactly.  The same argument covers
+//! retirement and refill: a freshly filled lane starts from the same boot
+//! state (`fsm::LaneState::boot`) with its own seeded RNG, exactly as a
+//! fresh scalar executor would, and its neighbours' columns are untouched.
+//! Fast-forwarded ticks preserve the argument because the hoisted checks
+//! are pure reads whose outcomes are proven constant over the window (the
+//! quiescent distances and corridor proofs are themselves exact integer
+//! comparisons — no rounding to second-guess), and elided source queries
+//! are covered by the [`HarvestSource::steady_ticks`] contract —
+//! counter-indexed draws mean they leave no state behind.  Not a single
+//! bit of lane state can differ from the naive per-tick loop.
 
 use std::collections::VecDeque;
 
 use ehsim::bank::CapacitorBank;
 use ehsim::capacitor::{Capacitor, EnergyCell};
-use ehsim::pmu::{OperatingZone, ThresholdBank};
+use ehsim::pmu::{OperatingZone, ThresholdBank, ThresholdsFx};
 use ehsim::source::HarvestSource;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tech45::units::{Energy, Power, Seconds};
+use tech45::units::{EnergyFx, Power, Seconds};
 
 use crate::fsm::{FsmConfig, InFlight, LaneFlags, LaneState, NodeFsm};
 use crate::interrupts::TimerInterrupt;
@@ -166,6 +182,10 @@ impl<S> BatchJob<S> {
 #[derive(Debug, Default)]
 pub struct FsmBank {
     configs: Vec<FsmConfig>,
+    /// Each lane's thresholds quantised onto the fixed-point grid, once per
+    /// (re)fill: the step transition and the quiescence proofs compare
+    /// against them many times per tick.
+    thresholds_fx: Vec<ThresholdsFx>,
     states: Vec<NodeState>,
     reg_flags: Vec<RegFlag>,
     rngs: Vec<StdRng>,
@@ -181,6 +201,7 @@ impl FsmBank {
     pub fn with_capacity(lanes: usize) -> Self {
         Self {
             configs: Vec::with_capacity(lanes),
+            thresholds_fx: Vec::with_capacity(lanes),
             states: Vec::with_capacity(lanes),
             reg_flags: Vec::with_capacity(lanes),
             rngs: Vec::with_capacity(lanes),
@@ -206,6 +227,7 @@ impl FsmBank {
     /// Scatters a booted FSM into the columns.  Returns the lane index.
     pub fn push(&mut self, fsm: NodeFsm) -> usize {
         let (config, lane) = fsm.into_lane();
+        self.thresholds_fx.push(config.thresholds.fx());
         self.configs.push(config);
         self.states.push(lane.state);
         self.reg_flags.push(lane.reg_flag);
@@ -220,6 +242,7 @@ impl FsmBank {
     /// Re-initialises an existing lane from a booted FSM (scenario refill).
     pub fn reset_lane(&mut self, lane: usize, fsm: NodeFsm) {
         let (config, state) = fsm.into_lane();
+        self.thresholds_fx[lane] = config.thresholds.fx();
         self.configs[lane] = config;
         self.states[lane] = state.state;
         self.reg_flags[lane] = state.reg_flag;
@@ -240,6 +263,11 @@ impl FsmBank {
     #[must_use]
     pub fn config(&self, lane: usize) -> &FsmConfig {
         &self.configs[lane]
+    }
+
+    /// One lane's thresholds on the fixed-point grid (cached at fill time).
+    pub(crate) fn thresholds_fx(&self, lane: usize) -> &ThresholdsFx {
+        &self.thresholds_fx[lane]
     }
 
     /// One lane's statistics collected so far.
@@ -324,9 +352,9 @@ pub struct BatchExecutor<S> {
     step_index: Vec<u64>,
     steps_total: Vec<u64>,
     dts: Vec<Seconds>,
-    harvested: Vec<Energy>,
-    clipped: Vec<Energy>,
-    consumed: Vec<Energy>,
+    harvested: Vec<EnergyFx>,
+    clipped: Vec<EnergyFx>,
+    consumed: Vec<EnergyFx>,
     // Free-slot stack: retired lane indices awaiting refill, so claiming a
     // slot is O(1) instead of an O(width) scan.
     free_lanes: Vec<usize>,
@@ -378,6 +406,22 @@ const BLOCK_TICKS: u64 = 4096;
 /// this the per-window setup (budget fit, corridor proofs) costs more than
 /// the checked ticks it replaces.
 const MIN_WINDOW: u64 = 3;
+
+/// Steady ticks a probed window must span to have repaid its own search: a
+/// probe's worst case (the RFID window hunt — two jittered cycle windows
+/// plus a verification walk) costs on the order of this many checked-tier
+/// sampling steps.
+const PROBE_PAYOFF: u64 = 4;
+
+/// Longest failure backoff between steady probes, in checked ticks.  After
+/// a probe comes back without a [`PROBE_PAYOFF`]-length window the next one
+/// is deferred by a geometrically growing gap up to this cap, so a source
+/// whose windows are chronically shorter than a probe search is worth
+/// (RFID burst cycles a few ticks long) costs one search per `CAP` ticks
+/// instead of one per window — while a single paying probe resets the gap,
+/// so sources with long windows (constant power, Markov dwells, solar
+/// nights) probe eagerly and keep their steady coverage intact.
+const PROBE_BACKOFF_CAP: u64 = 64;
 
 impl<S: HarvestSource> BatchExecutor<S> {
     /// An executor stepping at most `width` lanes in lockstep (at least
@@ -498,9 +542,9 @@ impl<S: HarvestSource> BatchExecutor<S> {
                     self.step_index[lane] = 0;
                     self.steps_total[lane] = steps;
                     self.dts[lane] = job.dt;
-                    self.harvested[lane] = Energy::ZERO;
-                    self.clipped[lane] = Energy::ZERO;
-                    self.consumed[lane] = Energy::ZERO;
+                    self.harvested[lane] = EnergyFx::ZERO;
+                    self.clipped[lane] = EnergyFx::ZERO;
+                    self.consumed[lane] = EnergyFx::ZERO;
                     lane
                 }
                 None => {
@@ -512,9 +556,9 @@ impl<S: HarvestSource> BatchExecutor<S> {
                     self.step_index.push(0);
                     self.steps_total.push(steps);
                     self.dts.push(job.dt);
-                    self.harvested.push(Energy::ZERO);
-                    self.clipped.push(Energy::ZERO);
-                    self.consumed.push(Energy::ZERO);
+                    self.harvested.push(EnergyFx::ZERO);
+                    self.clipped.push(EnergyFx::ZERO);
+                    self.consumed.push(EnergyFx::ZERO);
                     self.sources.len() - 1
                 }
             };
@@ -525,14 +569,16 @@ impl<S: HarvestSource> BatchExecutor<S> {
         }
     }
 
-    /// Finalises one finished lane: writes the measured energy aggregates
-    /// into its statistics (the scalar executor's epilogue), parks the
-    /// result under the lane's job id, and frees the slot.
+    /// Finalises one finished lane through [`RunStats::finalize`] — the
+    /// exact epilogue the scalar executor runs — parks the result under the
+    /// lane's job id, and frees the slot.
     fn retire(&mut self, lane: usize) {
+        let dt = self.dts[lane];
+        let harvested = self.harvested[lane];
+        let clipped = self.clipped[lane];
+        let consumed = self.consumed[lane];
         let stats = self.fsm.stats_mut(lane);
-        stats.energy_harvested = self.harvested[lane];
-        stats.energy_clipped = self.clipped[lane];
-        stats.energy_consumed = self.consumed[lane];
+        stats.finalize(dt, harvested, clipped, consumed);
         self.results[self.job_ids[lane]] = Some(stats.clone());
         if let Some(source) = self.sources[lane].take() {
             self.retired_sources.push(source);
@@ -580,11 +626,9 @@ impl<S: HarvestSource> BatchExecutor<S> {
     /// keeps querying the source each tick but skips the FSM.  Both tiers
     /// stay bit-identical to the naive per-tick loop by construction: every
     /// skipped comparison is proven to be a no-op before it is skipped, and
-    /// every arithmetic shortcut is proven to produce the very bits the
-    /// clamped expressions would.
-    // `!(x > y)` instead of `x <= y` throughout: the negation sends NaN to
-    // the conservative slow path, which the positive comparison would not.
-    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    /// the arithmetic shortcuts are exact — the accumulators are integers,
+    /// so a window's closed form produces the very bits the per-tick
+    /// sequence would.
     fn advance_lane_block(&mut self, lane: usize, ticks: u64) {
         let Some(mut source) = self.sources[lane].take() else { return };
         let dt = self.dts[lane];
@@ -595,18 +639,19 @@ impl<S: HarvestSource> BatchExecutor<S> {
         // local for the whole block; full-fidelity ticks borrow it through
         // the shared `EnergyCell` arithmetic.
         let cap = self.caps.lane(lane);
-        let mut energy = cap.energy();
-        let e_max = cap.max_energy();
-        let e_max_v = e_max.value();
+        let mut energy = cap.energy_fx();
+        let e_max = cap.max_energy_fx();
+        let e_max_aj = e_max.attojoules();
         let mut state = self.fsm.take_lane(lane);
         let mut harvested = self.harvested[lane];
         let mut clipped = self.clipped[lane];
         let mut consumed = self.consumed[lane];
         let config = self.fsm.config(lane);
-        // Worst-case per-tick drain of the fast path: Sleep only leaks,
-        // Off does not even do that.
-        let leak_step = config.sleep_leakage.max(Power::ZERO) * dt;
-        let ls = leak_step.value();
+        let th = self.fsm.thresholds_fx(lane);
+        // Worst-case per-tick drain of the fast path, quantised to the
+        // attojoule grid exactly as the leak drain quantises it: Sleep only
+        // leaks, Off does not even do that.
+        let ls = (config.sleep_leakage.max(Power::ZERO) * dt).to_fx().attojoules();
         let mut fast = 0_u64;
         let mut steady = 0_u64;
         let mut recomputes = 0_u64;
@@ -623,6 +668,12 @@ impl<S: HarvestSource> BatchExecutor<S> {
         // consumes it instead of querying twice (the RNG stream advances
         // exactly once per tick, as in the scalar loop).
         let mut pending: Option<Power> = None;
+        // Steady-probe pacing, keyed on payoff and persisted across the
+        // block's stretches: the window regime is a property of the lane's
+        // source, not of any one stretch, so a lane whose probes chronically
+        // come back short keeps its earned gap through stretch exits
+        // instead of relearning it a few searches at a time.
+        let mut backoff_next = 1_u64;
         while i < end {
             // The scalar executor's per-step body, verbatim (see
             // `IntermittentExecutor::run_with_sink`): the FSM transition —
@@ -634,16 +685,17 @@ impl<S: HarvestSource> BatchExecutor<S> {
                 None => source.power_at(now),
             };
             let before = energy;
-            let offered = power.max(Power::ZERO) * dt;
-            let banked = EnergyCell::from_parts(&mut energy, e_max).harvest(power, dt);
+            let offered = (power.max(Power::ZERO) * dt).to_fx();
+            let banked = EnergyCell::from_parts(&mut energy, e_max).harvest_fx(offered);
             harvested += banked;
             clipped += offered - banked;
-            state.as_lane_mut(config).step(
+            state.as_lane_mut(config, th, EnergyFx::from_attojoules(ls)).step(
                 &mut EnergyCell::from_parts(&mut energy, e_max),
                 now,
                 dt,
             );
-            consumed += (before + banked - energy).max(Energy::ZERO);
+            // Exact — integer drains can never overshoot, so no clamp.
+            consumed += before + banked - energy;
             i += 1;
             if i > nf_tick {
                 // The tick just executed polled at or past the deadline and
@@ -656,18 +708,19 @@ impl<S: HarvestSource> BatchExecutor<S> {
             if i >= end || !matches!(state.state, NodeState::Sleep | NodeState::Off) {
                 continue;
             }
-            let Some(d0) = state.quiescent_distance(config, energy) else { continue };
+            let Some(d0) = state.quiescent_distance(th, energy) else { continue };
             recomputes += 1;
             // Running lower bound on the distance to the nearest
-            // control-flow threshold: starts exact (less a margin dominating
-            // the accumulated rounding), shrinks by worst-case or actual
-            // per-tick moves, and is re-derived from the live energy when it
-            // no longer covers the next step — executing a tick only while
-            // the budget covers it proves every hoisted comparison lands
-            // strictly on its current side.  (`!(x > y)` instead of
-            // `x <= y` so NaNs fall to the slow path.)
-            let mut dist = d0.value() - 1e-12;
-            if !(dist > 0.0) {
+            // control-flow threshold, in attojoules.  One quantum is shaved
+            // off so cumulative movement of at most `dist` provably
+            // preserves *every* hoisted comparison verdict: strict
+            // comparisons survive movement up to the full distance,
+            // non-strict ones up to one quantum less.  The bound shrinks by
+            // worst-case or actual per-tick moves and is re-derived from the
+            // live energy when it no longer covers the next step — never
+            // guessed past.
+            let mut dist = d0.saturating_sub(1);
+            if dist <= 0 {
                 continue;
             }
             let in_off = state.state == NodeState::Off;
@@ -683,16 +736,23 @@ impl<S: HarvestSource> BatchExecutor<S> {
                 continue;
             }
 
-            // Hoist the loop-constant accumulators into raw locals: the
-            // burned ticks perform the exact same sequence of f64 additions
-            // `RunStats::add_time` and the `EnergyCell` ops would.
-            let mut t_state = *state.stats.time_slot_mut(node_state);
-            let mut t_total = state.stats.total_time;
-            let mut e = energy.value();
-            let mut hv = harvested.value();
-            let mut cl = clipped.value();
-            let mut co = consumed.value();
+            // Hoist the loop-constant accumulators into raw integer locals:
+            // tick counters for time, attojoules for energy.  Integer
+            // addition is associative, so burnt windows may sum in closed
+            // form and still produce the per-tick bits.
+            let mut t_state = *state.stats.tick_slot_mut(node_state);
+            let mut t_total = *state.stats.total_ticks_mut();
+            let mut e = energy.attojoules();
+            let mut hv = harvested.attojoules();
+            let mut cl = clipped.attojoules();
+            let mut co = consumed.attojoules();
             let mut last_power = power;
+            // One-entry quantisation cache for the checked tier: periodic
+            // sources repeat the same sample for whole regions, and the
+            // quantised offer is a pure function of the sample bits, so a
+            // repeat costs one f64 compare instead of the fixed-point
+            // conversion.
+            let mut last_incoming = (power.max(Power::ZERO) * dt).to_fx().attojoules();
             let burn_start = i;
 
             // Ticks left of the last positive steady probe: a suffix of a
@@ -700,17 +760,24 @@ impl<S: HarvestSource> BatchExecutor<S> {
             // source state to advance), so the window is consumed
             // incrementally instead of re-proved every chunk.
             let mut avail_left = 0_u64;
-            // Probe budget: each probe spends a credit, each burned window
-            // earns them back.  Sources whose windows keep paying (constant,
-            // Markov dwells, solar nights) probe indefinitely; one that
-            // alternates faster than a window pays for (an RFID burst a
-            // couple of ticks long) stops probing after a bounded spend and
-            // runs pure checked ticks for the rest of the stretch.
-            let mut probe_credit = 4_u64;
+            // A fresh stretch always earns one probe — the full tick that
+            // opened it may have crossed into a new source regime — while
+            // the learned gap (`backoff_next`) still paces the re-probes
+            // inside the stretch.
+            let mut backoff = 0_u64;
             while i < stretch_end {
-                if avail_left == 0 && probe_credit > 0 {
-                    probe_credit -= 1;
+                if avail_left == 0 && backoff == 0 {
                     avail_left = source.steady_ticks(i - 1, dt);
+                    // Pacing success means the window repaid the search, not
+                    // merely that it is usable: short windows still burn in
+                    // the steady tier below, but only a `PROBE_PAYOFF`-length
+                    // find licenses the next probe for free.
+                    if avail_left >= PROBE_PAYOFF {
+                        backoff_next = 1;
+                    } else {
+                        backoff = backoff_next;
+                        backoff_next = (backoff_next * 2).min(PROBE_BACKOFF_CAP);
+                    }
                 }
                 let avail = avail_left.min(stretch_end - i);
                 if avail >= MIN_WINDOW {
@@ -719,112 +786,88 @@ impl<S: HarvestSource> BatchExecutor<S> {
                     // The per-tick net move is `banked - leaked`, whose
                     // magnitude `max(offered, leak_step)` bounds the
                     // threshold-distance spend.
-                    let offered = last_power.value().max(0.0) * dt_s;
+                    let offered = (last_power.max(Power::ZERO) * dt).to_fx().attojoules();
                     let step_mag = if in_off { offered } else { offered.max(ls) };
-                    // Common case: the whole window fits the budget with the
-                    // same inflation margin the corridor check uses — one
-                    // multiply instead of `ticks_within`'s divide.
-                    let mut h = if (avail as f64) * step_mag * (1.0 + 1e-6) < dist {
-                        avail
-                    } else {
-                        avail.min(ticks_within(dist, step_mag))
-                    };
+                    let mut h = avail.min(ticks_budget(dist, step_mag));
                     if h == 0 {
                         // Self-heal: the budget shrank by worst-case bounds;
                         // re-derive it from the live energy (the FSM state is
                         // unchanged inside a stretch).
-                        let Some(d) = state.quiescent_distance(config, Energy::new(e)) else {
+                        let Some(d) = state.quiescent_distance(th, EnergyFx::from_attojoules(e))
+                        else {
                             break;
                         };
                         recomputes += 1;
-                        dist = d.value() - 1e-12;
-                        h = avail.min(ticks_within(dist, step_mag));
+                        dist = d.saturating_sub(1);
+                        h = avail.min(ticks_budget(dist, step_mag));
                         if h == 0 {
                             break;
                         }
                     }
-                    let span = h as f64 * step_mag * (1.0 + 1e-6);
-                    // Corridor proofs: while the energy provably stays below
-                    // the clip ceiling and above the drain floor, the
-                    // `EnergyCell` clamps cannot bind and the same bits come
-                    // from the unclamped expressions.
-                    let no_clip = span + offered < e_max_v - e;
-                    let no_sat = in_off || span < e - ls;
-                    if no_clip && no_sat {
-                        if in_off {
-                            if offered == 0.0 {
-                                // Nothing moves: harvest banks +0, there is
-                                // no leak, and every accumulator add is an
-                                // exact identity — only time advances.
-                                for _ in 0..h {
-                                    t_state += dt;
-                                    t_total += dt;
-                                }
-                            } else {
-                                for _ in 0..h {
-                                    e += offered;
-                                    hv += offered;
-                                    t_state += dt;
-                                    t_total += dt;
-                                }
-                            }
-                        } else if offered == 0.0 {
-                            for _ in 0..h {
-                                let before = e;
-                                e -= ls;
-                                co += (before - e).max(0.0);
-                                t_state += dt;
-                                t_total += dt;
-                            }
-                        } else {
-                            for _ in 0..h {
-                                let e1 = e + offered;
-                                let after = e1 - ls;
-                                hv += offered;
-                                co += (e1 - after).max(0.0);
-                                t_state += dt;
-                                t_total += dt;
-                                e = after;
-                            }
-                        }
+                    let hi = h as i128;
+                    // Corridor proofs, exact over the window's arithmetic
+                    // progression: while every tick's pre-clamp energy stays
+                    // at or below the clip ceiling and at or above the drain
+                    // floor, the `EnergyCell` clamps are identities.  The
+                    // extreme tick is the first or last depending on the
+                    // sign of the per-tick net move, so one endpoint check
+                    // covers the whole window.
+                    let (no_clip, no_sat) = if in_off {
+                        // No leak: energy is non-decreasing, peak at the end.
+                        (e + hi * offered <= e_max_aj, true)
                     } else {
-                        // A clamp may bind: run the exact clamped arithmetic,
-                        // watching for the fixed point constant-power lanes
-                        // settle into (a capacitor pinned at its capacity
-                        // repeats one tick's values verbatim).
+                        let net = offered - ls;
+                        if net >= 0 {
+                            (e + (hi - 1) * net + offered <= e_max_aj, e + offered >= ls)
+                        } else {
+                            (e + offered <= e_max_aj, e + (hi - 1) * net + offered >= ls)
+                        }
+                    };
+                    if no_clip && no_sat {
+                        // Unclamped window: integer addition is associative,
+                        // so the whole window is one multiply-add per
+                        // accumulator — O(1) regardless of h.
+                        if in_off {
+                            e += hi * offered;
+                            hv += hi * offered;
+                        } else {
+                            e += hi * (offered - ls);
+                            hv += hi * offered;
+                            co += hi * ls;
+                        }
+                        t_state += h;
+                        t_total += h;
+                    } else {
+                        // A clamp may bind: run the exact clamped arithmetic
+                        // until the energy reaches a fixed point (a capacitor
+                        // pinned at its capacity, or drained flat, repeats
+                        // one tick's values verbatim), then fold the
+                        // remaining ticks into one multiply-add each.
                         let mut k = 0_u64;
                         while k < h {
                             let before = e;
-                            let banked = offered.min(e_max_v - e).max(0.0);
+                            let banked = offered.min(e_max_aj - e).max(0);
                             let e1 = e + banked;
-                            let after = if in_off { e1 } else { e1 - ls.max(0.0).min(e1) };
+                            let drained = if in_off { 0 } else { ls.min(e1) };
+                            let after = e1 - drained;
                             hv += banked;
                             cl += offered - banked;
-                            let d_co = (e1 - after).max(0.0);
-                            co += d_co;
-                            t_state += dt;
-                            t_total += dt;
+                            co += drained;
                             e = after;
                             k += 1;
                             if e == before {
-                                // Fixed point: every remaining tick of the
-                                // chunk repeats these exact values.
-                                let d_cl = offered - banked;
-                                while k < h {
-                                    hv += banked;
-                                    cl += d_cl;
-                                    co += d_co;
-                                    t_state += dt;
-                                    t_total += dt;
-                                    k += 1;
-                                }
-                                break;
+                                let rem = (h - k) as i128;
+                                hv += rem * banked;
+                                cl += rem * (offered - banked);
+                                co += rem * drained;
+                                k = h;
                             }
                         }
+                        t_state += h;
+                        t_total += h;
                     }
-                    dist -= h as f64 * step_mag;
+                    dist -= hi * step_mag;
                     avail_left -= h;
-                    probe_credit += h;
                     steady += h;
                     fast += h;
                     i += h;
@@ -836,14 +879,17 @@ impl<S: HarvestSource> BatchExecutor<S> {
                     // so the bound is `max(offered, leak)` rather than the
                     // source's worst case.
                     let power = source.power_at(Seconds::new(i as f64 * dt_s));
-                    let incoming = power.value().max(0.0) * dt_s;
+                    if power != last_power {
+                        last_incoming = (power.max(Power::ZERO) * dt).to_fx().attojoules();
+                    }
+                    let incoming = last_incoming;
                     let move_bound = incoming.max(ls);
-                    if !(dist > move_bound) {
+                    if dist < move_bound {
                         // Self-heal from the live energy before giving up.
-                        let healed = state.quiescent_distance(config, Energy::new(e));
+                        let healed = state.quiescent_distance(th, EnergyFx::from_attojoules(e));
                         recomputes += 1;
-                        dist = healed.map_or(f64::NEG_INFINITY, |d| d.value() - 1e-12);
-                        if !(dist > move_bound) {
+                        dist = healed.map_or(-1, |d| d.saturating_sub(1));
+                        if dist < move_bound {
                             // This tick's checks cannot be proven no-ops:
                             // hand the drawn sample to the full-fidelity
                             // path.
@@ -851,14 +897,15 @@ impl<S: HarvestSource> BatchExecutor<S> {
                             break;
                         }
                     }
-                    let banked = incoming.min(e_max_v - e).max(0.0);
+                    let banked = incoming.min(e_max_aj - e).max(0);
                     let e1 = e + banked;
-                    let after = if in_off { e1 } else { e1 - ls.max(0.0).min(e1) };
+                    let drained = if in_off { 0 } else { ls.min(e1) };
+                    let after = e1 - drained;
                     hv += banked;
                     cl += incoming - banked;
-                    co += (e1 - after).max(0.0);
-                    t_state += dt;
-                    t_total += dt;
+                    co += drained;
+                    t_state += 1;
+                    t_total += 1;
                     dist -= (after - e).abs();
                     e = after;
                     last_power = power;
@@ -866,18 +913,19 @@ impl<S: HarvestSource> BatchExecutor<S> {
                     // proven window (a suffix of a steady window is steady),
                     // so the next exhaustion re-probes at the right tick.
                     avail_left = avail_left.saturating_sub(1);
+                    backoff = backoff.saturating_sub(1);
                     fast += 1;
                     i += 1;
                 }
             }
 
             // Scatter the stretch locals back.
-            energy = Energy::new(e);
-            harvested = Energy::new(hv);
-            clipped = Energy::new(cl);
-            consumed = Energy::new(co);
-            *state.stats.time_slot_mut(node_state) = t_state;
-            state.stats.total_time = t_total;
+            energy = EnergyFx::from_attojoules(e);
+            harvested = EnergyFx::from_attojoules(hv);
+            clipped = EnergyFx::from_attojoules(cl);
+            consumed = EnergyFx::from_attojoules(co);
+            *state.stats.tick_slot_mut(node_state) = t_state;
+            *state.stats.total_ticks_mut() = t_total;
             if !idle_sleep && i > nf_tick {
                 // Burned ticks crossed the (lower-bound) deadline: replay the
                 // exact re-arms those skipped polls would have performed,
@@ -916,32 +964,22 @@ impl<S: HarvestSource> BatchExecutor<S> {
     }
 }
 
-/// How many ticks the lane energy can take per-tick steps of magnitude at
-/// most `step` without ever travelling `distance` (a budget the caller has
-/// already given its absolute floating-point haircut) — a conservative
-/// floor(distance / step) with a relative `1e-6` margin that dominates the
-/// accumulated rounding of up to [`BLOCK_TICKS`] sequential energy updates
-/// (≈ 2.9e-14 J at paper scales — ten orders of magnitude inside the
-/// margin).  Underestimating a horizon costs a few slow ticks;
-/// overestimating one would break bit-identity, so every rounding here is
-/// chosen to shrink the answer.
-#[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fall to the 0 branch
-fn ticks_within(distance: f64, step: f64) -> u64 {
-    if !(distance > 0.0) {
+/// How many per-tick energy steps of magnitude at most `step` attojoules
+/// fit inside a movement budget of `dist` attojoules — an exact
+/// `floor(dist / step)`, so `h · step <= dist` holds by construction.
+/// Unlike the old floating-point variant there is no safety margin to tune
+/// and no rounding to distrust: integer division *is* the proof.  A
+/// non-positive `step` means the energy provably cannot move: the horizon
+/// is unbounded and the caller's window (lifetime, timer, block) is the
+/// binding constraint.
+fn ticks_budget(dist: i128, step: i128) -> u64 {
+    if dist <= 0 {
         return 0;
     }
-    if step <= 0.0 {
-        // The energy provably cannot move: the horizon is unbounded and the
-        // caller's window (lifetime, timer, block) is the binding constraint.
+    if step <= 0 {
         return u64::MAX;
     }
-    let ratio = distance / step * (1.0 - 1e-6);
-    if ratio >= 1.0 {
-        // `as` saturates at u64::MAX for huge ratios.
-        ratio as u64
-    } else {
-        0
-    }
+    u64::try_from(dist / step).unwrap_or(u64::MAX)
 }
 
 /// Replays, bit-exactly, the [`TimerInterrupt::poll`] re-arms a lane would
@@ -983,7 +1021,12 @@ fn ticks_before_fire(first: u64, dt_s: f64, next_fire: f64) -> u64 {
     if !est.is_finite() || est <= 0.0 {
         return 0;
     }
-    let mut h = est.ceil() as u64;
+    // `est.ceil() as u64` without the libm call: `est` is positive and
+    // finite here, so truncate and bump unless the value was integral
+    // (below 2^53 the truncation round-trips exactly; at or above it every
+    // f64 is already integral, so the bump never applies).
+    let t = est as u64;
+    let mut h = if (t as f64) < est { t + 1 } else { t };
     while h > 0 && (first + h - 1) as f64 * dt_s >= next_fire {
         h -= 1;
     }
@@ -996,6 +1039,7 @@ mod tests {
     use crate::executor::IntermittentExecutor;
     use ehsim::schedule::Schedule;
     use ehsim::source::ConstantSource;
+    use tech45::units::Energy;
 
     fn scalar(config: FsmConfig, schedule: &Schedule, duration: f64, dt: f64) -> RunStats {
         let mut exec = IntermittentExecutor::new(config, schedule.clone());
@@ -1171,21 +1215,22 @@ mod tests {
     }
 
     #[test]
-    fn ticks_within_never_reaches_the_distance() {
-        let d = Energy::from_millijoules(2.0).value();
-        let m = Energy::from_microjoules(10.0).value();
-        let h = ticks_within(d, m);
-        assert!(h > 0);
-        // h per-tick steps stay strictly inside the distance…
-        assert!(m * (h as f64) < d);
-        // …and the bound is not absurdly loose.
-        assert!(h >= 190, "h = {h}");
-        assert_eq!(ticks_within(0.0, m), 0);
-        assert_eq!(ticks_within(-1.0, m), 0);
-        assert_eq!(ticks_within(d, 0.0), u64::MAX);
-        assert_eq!(ticks_within(f64::NAN, m), 0);
+    fn ticks_budget_is_the_exact_floor_of_the_division() {
+        let d = Energy::from_millijoules(2.0).to_fx().attojoules();
+        let m = Energy::from_microjoules(10.0).to_fx().attojoules();
+        let h = ticks_budget(d, m);
+        // 2 mJ / 10 µJ: the budget admits exactly 200 steps, no haircut.
+        assert_eq!(h, 200);
+        assert!(m * i128::from(h) <= d);
+        assert!(m * (i128::from(h) + 1) > d);
+        assert_eq!(ticks_budget(0, m), 0);
+        assert_eq!(ticks_budget(-1, m), 0);
+        assert_eq!(ticks_budget(d, 0), u64::MAX);
+        assert_eq!(ticks_budget(d, -3), u64::MAX);
         // A distance smaller than one step yields no window.
-        assert_eq!(ticks_within(Energy::from_microjoules(5.0).value(), m), 0);
+        assert_eq!(ticks_budget(Energy::from_microjoules(5.0).to_fx().attojoules(), m), 0);
+        // Astronomical budgets saturate instead of wrapping.
+        assert_eq!(ticks_budget(i128::MAX, 1), u64::MAX);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use ehsim::capacitor::Capacitor;
 use ehsim::schedule::Schedule;
 use ehsim::source::HarvestSource;
 use ehsim::trace::{NullSink, TraceRecorder, TraceSample, TraceSink};
-use tech45::units::{Energy, Power, Seconds};
+use tech45::units::{Energy, EnergyFx, Power, Seconds};
 
 use crate::fsm::{FsmConfig, NodeFsm};
 use crate::stats::RunStats;
@@ -109,20 +109,36 @@ impl<S: HarvestSource> IntermittentExecutor<S> {
     ) -> RunStats {
         assert!(dt.value() > 0.0, "time step must be positive");
         let steps = step_count(duration, dt);
-        let mut harvested_total = Energy::ZERO;
-        let mut clipped_total = Energy::ZERO;
-        let mut consumed_total = Energy::ZERO;
+        // Exact fixed-point accumulators: the offered energy is quantised
+        // once per tick (at the capacitor boundary) and everything after that
+        // is integer arithmetic, so the totals have no float-ordering
+        // artifacts and `consumed` needs no clamp — it is exactly the energy
+        // the FSM drained this tick.
+        let mut harvested_total = EnergyFx::ZERO;
+        let mut clipped_total = EnergyFx::ZERO;
+        let mut consumed_total = EnergyFx::ZERO;
+        // One-entry quantisation cache: sources repeat the same sample for
+        // whole regions (bursts, dwells, plateaus, nights), and the
+        // quantised offer is a pure function of the sample bits, so a
+        // repeat costs one f64 compare instead of the fixed-point
+        // conversion.
+        let mut last_power = Power::ZERO;
+        let mut offered = EnergyFx::ZERO;
         for i in 0..steps {
             let now = Seconds::new(i as f64 * dt.as_seconds());
             let power = self.source.power_at(now);
-            let before = self.capacitor.energy();
-            let offered = power.max(Power::ZERO) * dt;
-            let banked = self.capacitor.harvest(power, dt);
+            let before = self.capacitor.energy_fx();
+            // `(ZERO, ZERO)` is a valid seed pair: a zero sample quantises
+            // to a zero offer.
+            if power != last_power {
+                offered = (power.max(Power::ZERO) * dt).to_fx();
+                last_power = power;
+            }
+            let banked = self.capacitor.cell().harvest_fx(offered);
             harvested_total += banked;
             clipped_total += offered - banked;
             self.fsm.step(&mut self.capacitor, now, dt);
-            let consumed = (before + banked - self.capacitor.energy()).max(Energy::ZERO);
-            consumed_total += consumed;
+            consumed_total += before + banked - self.capacitor.energy_fx();
             sink.record(TraceSample {
                 time: now,
                 stored: self.capacitor.energy(),
@@ -131,9 +147,7 @@ impl<S: HarvestSource> IntermittentExecutor<S> {
             });
         }
         let stats = self.fsm.stats_mut();
-        stats.energy_harvested = harvested_total;
-        stats.energy_clipped = clipped_total;
-        stats.energy_consumed = consumed_total;
+        stats.finalize(dt, harvested_total, clipped_total, consumed_total);
         stats.clone()
     }
 }

@@ -10,9 +10,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ehsim::capacitor::{Capacitor, EnergyCell};
-use ehsim::pmu::Thresholds;
+use ehsim::pmu::{Thresholds, ThresholdsFx};
 use tech45::constants::{E_COMPUTE, E_SENSE, E_TRANSMIT, OPERATION_UNCERTAINTY, SLEEP_LEAKAGE_W};
-use tech45::units::{Energy, Power, Seconds};
+use tech45::units::{Energy, EnergyFx, Power, Seconds};
 
 use crate::backup::BackupUnit;
 use crate::interrupts::TimerInterrupt;
@@ -208,33 +208,43 @@ impl LaneState {
     ///
     /// A non-positive distance means a comparison is exactly at its boundary
     /// and the next tick must run in full; the caller treats it as a zero
-    /// horizon.
-    pub(crate) fn quiescent_distance(&self, config: &FsmConfig, energy: Energy) -> Option<Energy> {
-        let th = &config.thresholds;
-        let mut d = Energy::new(f64::INFINITY);
+    /// horizon.  Distances are exact attojoule counts against the same
+    /// fixed-point thresholds the step comparisons use, so a caller that
+    /// bounds the per-tick movement in attojoules gets a *proof*, not an
+    /// estimate: movement strictly below the distance cannot flip a strict
+    /// comparison, and movement of at most `distance − 1` cannot flip a
+    /// non-strict one either.
+    ///
+    /// `th` must be the fixed-point image of the lane's configured
+    /// thresholds; callers cache it once per run ([`NodeFsm::new`], the
+    /// batch executor's per-lane column) because re-quantising six
+    /// thresholds on every query is measurable in the hot loop.
+    pub(crate) fn quiescent_distance(&self, th: &ThresholdsFx, energy: EnergyFx) -> Option<i128> {
+        let e = energy.attojoules();
+        let mut d = i128::MAX;
         match self.state {
             NodeState::Sleep => {
                 d = if self.flags.in_safe_zone_dip {
-                    d.min(th.safe_zone - energy)
+                    d.min(th.safe_zone.attojoules() - e)
                 } else {
-                    d.min(energy - th.safe_zone)
+                    d.min(e - th.safe_zone.attojoules())
                 };
-                d = d.min(energy - th.off);
+                d = d.min(e - th.off.attojoules());
                 if !self.flags.backed_up {
-                    d = d.min(energy - th.backup);
+                    d = d.min(e - th.backup.attojoules());
                 }
                 match self.reg_flag {
-                    RegFlag::SENSE => d = d.min(th.sense - energy),
-                    RegFlag::COMPUTE => d = d.min(th.compute - energy),
-                    RegFlag::TRANSMIT => d = d.min(th.transmit - energy),
+                    RegFlag::SENSE => d = d.min(th.sense.attojoules() - e),
+                    RegFlag::COMPUTE => d = d.min(th.compute.attojoules() - e),
+                    RegFlag::TRANSMIT => d = d.min(th.transmit.attojoules() - e),
                     _ => {}
                 }
             }
             NodeState::Off => {
                 if self.flags.in_safe_zone_dip {
-                    d = d.min(th.safe_zone - energy);
+                    d = d.min(th.safe_zone.attojoules() - e);
                 }
-                d = d.min(th.sense - energy);
+                d = d.min(th.sense.attojoules() - e);
             }
             _ => return None,
         }
@@ -242,9 +252,20 @@ impl LaneState {
     }
 
     /// Borrows this lane as the step view shared with the batch executor.
-    pub(crate) fn as_lane_mut<'a>(&'a mut self, config: &'a FsmConfig) -> FsmLaneMut<'a> {
+    /// `th` is the caller-cached fixed-point image of `config.thresholds`;
+    /// `leak_step` the caller-cached quantisation of
+    /// `max(config.sleep_leakage, 0) · dt` for the `dt` the step will run
+    /// at — both loop constants the hot path must not re-derive per tick.
+    pub(crate) fn as_lane_mut<'a>(
+        &'a mut self,
+        config: &'a FsmConfig,
+        th: &'a ThresholdsFx,
+        leak_step: EnergyFx,
+    ) -> FsmLaneMut<'a> {
         FsmLaneMut {
             config,
+            th,
+            leak_step,
             state: &mut self.state,
             reg_flag: &mut self.reg_flag,
             rng: &mut self.rng,
@@ -266,6 +287,15 @@ impl LaneState {
 #[derive(Debug)]
 pub(crate) struct FsmLaneMut<'a> {
     pub(crate) config: &'a FsmConfig,
+    /// `config.thresholds` quantised once per run: the step transition
+    /// compares the stored energy against the thresholds several times per
+    /// tick, and re-deriving six fixed-point values each time costs more
+    /// than the comparisons themselves.
+    pub(crate) th: &'a ThresholdsFx,
+    /// `max(config.sleep_leakage, 0) · dt` quantised once per run (the same
+    /// caching rationale as [`Self::th`]; the value is what
+    /// `EnergyCell::drain_power` would re-derive every tick).
+    pub(crate) leak_step: EnergyFx,
     pub(crate) state: &'a mut NodeState,
     pub(crate) reg_flag: &'a mut RegFlag,
     pub(crate) rng: &'a mut StdRng,
@@ -280,11 +310,11 @@ impl FsmLaneMut<'_> {
     /// full per-step transition including time accounting and sleep leakage.
     #[inline]
     pub(crate) fn step(&mut self, cap: &mut EnergyCell<'_>, now: Seconds, dt: Seconds) {
-        self.stats.add_time(*self.state, dt);
+        self.stats.record_tick(*self.state);
 
         // Leakage is drawn in every state except Off.
         if *self.state != NodeState::Off {
-            cap.drain_power(self.config.sleep_leakage, dt);
+            cap.drain_fx(self.leak_step);
         }
 
         self.step_after_leakage(cap, now, dt);
@@ -298,8 +328,12 @@ impl FsmLaneMut<'_> {
             *self.reg_flag = RegFlag::SENSE;
         }
 
+        // All threshold comparisons are native fixed-point integer compares:
+        // converting the stored energy to f64 first could round onto a
+        // threshold (one f64 ulp at 25 mJ spans ~3.5 attojoules) and flip a
+        // verdict the exact representation would not.
         let energy = cap.energy();
-        let th = &self.config.thresholds;
+        let th = self.th;
 
         // Safe-zone bookkeeping (entries and recoveries are counted on the
         // threshold crossings, whatever state the node is in).
@@ -356,7 +390,7 @@ impl FsmLaneMut<'_> {
 
     fn step_off(&mut self, cap: &mut EnergyCell<'_>) {
         // Recover once there is enough energy to do useful work again.
-        if cap.energy() >= self.config.thresholds.sense {
+        if cap.energy() >= self.th.sense {
             if self.flags.needs_restore {
                 cap.drain(self.config.backup.restore_energy());
                 self.stats.restores += 1;
@@ -377,7 +411,7 @@ impl FsmLaneMut<'_> {
 
     fn step_sleep(&mut self, cap: &mut EnergyCell<'_>, _now: Seconds) {
         let energy = cap.energy();
-        let th = &self.config.thresholds;
+        let th = self.th;
         let next = match *self.reg_flag {
             RegFlag::SENSE if energy > th.sense => Some(NodeState::Sense),
             RegFlag::COMPUTE if energy > th.compute => Some(NodeState::Compute),
@@ -411,12 +445,10 @@ impl FsmLaneMut<'_> {
     }
 
     fn step_operation(&mut self, cap: &mut EnergyCell<'_>, dt: Seconds, state: NodeState) {
-        let th = &self.config.thresholds;
-
         // The dashed blue arrows of Fig. 3a: keep going while the energy stays
         // above the safe zone; otherwise retreat to Sleep (the volatile
         // registers keep the progress).
-        if state != NodeState::Sense && cap.energy() <= th.safe_zone {
+        if state != NodeState::Sense && cap.energy() <= self.th.safe_zone {
             *self.state = NodeState::Sleep;
             return;
         }
@@ -467,6 +499,14 @@ impl FsmLaneMut<'_> {
 #[derive(Debug, Clone)]
 pub struct NodeFsm {
     config: FsmConfig,
+    /// `config.thresholds` on the fixed-point grid, quantised once here:
+    /// the configuration is immutable for the FSM's lifetime, so every step
+    /// reuses these six values instead of re-deriving them.
+    th: ThresholdsFx,
+    /// Memoised `(dt, max(sleep_leakage, 0) · dt)` of the last step: `dt`
+    /// is constant within a run, so the per-tick leak quantisation
+    /// degenerates to one f64 equality check.
+    leak_cache: (Seconds, EnergyFx),
     lane: LaneState,
 }
 
@@ -475,7 +515,8 @@ impl NodeFsm {
     #[must_use]
     pub fn new(config: FsmConfig) -> Self {
         let lane = LaneState::boot(&config);
-        Self { config, lane }
+        let th = config.thresholds.fx();
+        Self { config, th, leak_cache: (Seconds::ZERO, EnergyFx::ZERO), lane }
     }
 
     /// Current node state.
@@ -519,7 +560,15 @@ impl NodeFsm {
     /// The whole transition runs on the `FsmLaneMut` view shared with the
     /// batch executor, so both paths execute the same code.
     pub fn step(&mut self, capacitor: &mut Capacitor, now: Seconds, dt: Seconds) {
-        self.lane.as_lane_mut(&self.config).step(&mut capacitor.cell(), now, dt);
+        if self.leak_cache.0 != dt {
+            self.leak_cache = (dt, (self.config.sleep_leakage.max(Power::ZERO) * dt).to_fx());
+        }
+        let leak_step = self.leak_cache.1;
+        self.lane.as_lane_mut(&self.config, &self.th, leak_step).step(
+            &mut capacitor.cell(),
+            now,
+            dt,
+        );
     }
 }
 

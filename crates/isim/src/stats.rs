@@ -1,9 +1,16 @@
 //! Run statistics of an intermittent execution.
+//!
+//! Since PR 10 ("Exact integer accumulators", DESIGN.md) time is tracked as
+//! *tick counters* and energy as fixed-point [`EnergyFx`] attojoules: both
+//! are exact integers, so a `k`-tick quiescent stretch folds into one
+//! `count += k` / `e += k · net` multiply-add with no floating-point
+//! ordering artifacts.  The run's constant `dt` is recorded once by
+//! `RunStats::finalize` and seconds are derived on read.
 
 use std::fmt;
 
 use diac_core::pdp::IntermittencyProfile;
-use tech45::units::{Energy, Power, Seconds};
+use tech45::units::{EnergyFx, Power, Seconds};
 
 use crate::state::NodeState;
 
@@ -29,50 +36,99 @@ pub struct RunStats {
     /// Operations whose progress was lost and had to be re-executed.
     pub reexecutions: u64,
     /// Total energy banked into the capacitor.
-    pub energy_harvested: Energy,
+    pub energy_harvested: EnergyFx,
     /// Harvest offered while the capacitor was full and therefore lost —
     /// the truly wasted ambient energy.
-    pub energy_clipped: Energy,
+    pub energy_clipped: EnergyFx,
     /// Total energy drawn from the capacitor.
-    pub energy_consumed: Energy,
-    /// Wall-clock time spent in each node state.
-    pub time_in_state: [Seconds; 6],
-    /// Total simulated time.
-    pub total_time: Seconds,
+    pub energy_consumed: EnergyFx,
+    /// Ticks spent in each node state.
+    ticks_in_state: [u64; 6],
+    /// Total simulated ticks.
+    total_ticks: u64,
+    /// The run's constant time step, recorded by `Self::finalize`.  Zero
+    /// until then, so time-based views of an unfinalized run read as zero.
+    dt: Seconds,
 }
 
 impl RunStats {
-    /// Time spent in one state.
+    /// Time spent in one state (`ticks × dt`; zero before `Self::finalize`).
     #[must_use]
     pub fn time_in(&self, state: NodeState) -> Seconds {
-        self.time_in_state[state_index(state)]
+        self.dt * self.ticks_in_state[state_index(state)] as f64
     }
 
-    /// Adds `dt` to the time spent in `state`.
-    pub fn add_time(&mut self, state: NodeState, dt: Seconds) {
-        self.time_in_state[state_index(state)] += dt;
-        self.total_time += dt;
+    /// Ticks spent in one state.
+    #[must_use]
+    pub fn ticks_in(&self, state: NodeState) -> u64 {
+        self.ticks_in_state[state_index(state)]
     }
 
-    /// Mutable access to the accumulator behind [`Self::time_in`].  Lets the
-    /// batch executor hoist the per-tick `add_time` of a fast-forwarded
-    /// window (whose state is constant) into a local, performing the exact
-    /// same sequence of additions.
-    pub(crate) fn time_slot_mut(&mut self, state: NodeState) -> &mut Seconds {
-        &mut self.time_in_state[state_index(state)]
+    /// Total simulated time (`ticks × dt`; zero before `Self::finalize`).
+    #[must_use]
+    pub fn total_time(&self) -> Seconds {
+        self.dt * self.total_ticks as f64
+    }
+
+    /// Total simulated ticks.
+    #[must_use]
+    pub const fn total_ticks(&self) -> u64 {
+        self.total_ticks
+    }
+
+    /// The run's time step as recorded by `Self::finalize`.
+    #[must_use]
+    pub const fn dt(&self) -> Seconds {
+        self.dt
+    }
+
+    /// Counts one tick spent in `state`.
+    pub(crate) fn record_tick(&mut self, state: NodeState) {
+        self.ticks_in_state[state_index(state)] += 1;
+        self.total_ticks += 1;
+    }
+
+    /// Mutable access to the counter behind [`Self::ticks_in`].  Lets the
+    /// batch executor hoist the per-tick accounting of a fast-forwarded
+    /// window (whose state is constant) into a local and fold `k` ticks into
+    /// one `count += k` — exact, because the counter is an integer.
+    pub(crate) fn tick_slot_mut(&mut self, state: NodeState) -> &mut u64 {
+        &mut self.ticks_in_state[state_index(state)]
+    }
+
+    /// Mutable access to the total-tick counter, for the same hoisting.
+    pub(crate) fn total_ticks_mut(&mut self) -> &mut u64 {
+        &mut self.total_ticks
+    }
+
+    /// The shared end-of-run epilogue: records the run's constant `dt` (which
+    /// turns the tick counters into times) and the three energy totals.  Both
+    /// the scalar executor and the batch lane-retire path end runs through
+    /// here, so the conversion-at-finish logic exists exactly once.
+    pub(crate) fn finalize(
+        &mut self,
+        dt: Seconds,
+        harvested: EnergyFx,
+        clipped: EnergyFx,
+        consumed: EnergyFx,
+    ) {
+        self.dt = dt;
+        self.energy_harvested = harvested;
+        self.energy_clipped = clipped;
+        self.energy_consumed = consumed;
     }
 
     /// Fraction of the simulated time the node was actively sensing,
     /// computing, or transmitting.
     #[must_use]
     pub fn active_fraction(&self) -> f64 {
-        if self.total_time.is_non_positive() {
+        if self.total_ticks == 0 {
             return 0.0;
         }
-        let active = self.time_in(NodeState::Sense)
-            + self.time_in(NodeState::Compute)
-            + self.time_in(NodeState::Transmit);
-        active.as_seconds() / self.total_time.as_seconds()
+        let active = self.ticks_in(NodeState::Sense)
+            + self.ticks_in(NodeState::Compute)
+            + self.ticks_in(NodeState::Transmit);
+        active as f64 / self.total_ticks as f64
     }
 
     /// Forward progress: the number of fully completed
@@ -85,10 +141,11 @@ impl RunStats {
     /// Average harvested power over the run.
     #[must_use]
     pub fn average_harvest_power(&self) -> Power {
-        if self.total_time.is_non_positive() {
+        let total = self.total_time();
+        if total.is_non_positive() {
             return Power::ZERO;
         }
-        self.energy_harvested / self.total_time
+        self.energy_harvested.to_energy() / total
     }
 
     /// Converts the observed event counts into the analytic intermittency
@@ -100,7 +157,7 @@ impl RunStats {
             emergencies,
             self.safe_zone_recoveries,
             self.off_events,
-            self.energy_consumed,
+            self.energy_consumed.to_energy(),
             self.average_harvest_power().max(Power::from_nanowatts(1.0)),
         )
     }
@@ -133,7 +190,7 @@ impl fmt::Display for RunStats {
             self.energy_clipped.as_millijoules(),
             self.energy_consumed.as_millijoules(),
             self.active_fraction() * 100.0,
-            self.total_time.as_seconds()
+            self.total_time().as_seconds()
         )
     }
 }
@@ -141,6 +198,7 @@ impl fmt::Display for RunStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tech45::units::Energy;
 
     #[test]
     fn all_matches_discriminants() {
@@ -152,10 +210,19 @@ mod tests {
     #[test]
     fn time_accounting_adds_up() {
         let mut stats = RunStats::default();
-        stats.add_time(NodeState::Sleep, Seconds::new(5.0));
-        stats.add_time(NodeState::Compute, Seconds::new(3.0));
-        stats.add_time(NodeState::Compute, Seconds::new(2.0));
-        assert!((stats.total_time.as_seconds() - 10.0).abs() < 1e-12);
+        for _ in 0..10 {
+            stats.record_tick(NodeState::Sleep);
+        }
+        for _ in 0..10 {
+            stats.record_tick(NodeState::Compute);
+        }
+        assert_eq!(stats.total_ticks(), 20);
+        assert!((stats.active_fraction() - 0.5).abs() < 1e-12);
+        // Times are zero until the run is finalized with its dt...
+        assert_eq!(stats.total_time().as_seconds(), 0.0);
+        stats.finalize(Seconds::new(0.5), EnergyFx::ZERO, EnergyFx::ZERO, EnergyFx::ZERO);
+        // ...and ticks × dt afterwards.
+        assert!((stats.total_time().as_seconds() - 10.0).abs() < 1e-12);
         assert!((stats.time_in(NodeState::Compute).as_seconds() - 5.0).abs() < 1e-12);
         assert!((stats.active_fraction() - 0.5).abs() < 1e-12);
     }
@@ -177,16 +244,22 @@ mod tests {
 
     #[test]
     fn profile_conversion_uses_the_observed_ratios() {
-        let stats = RunStats {
+        let mut stats = RunStats {
             safe_zone_entries: 10,
             safe_zone_recoveries: 4,
             backups: 6,
             off_events: 3,
-            energy_consumed: Energy::from_millijoules(120.0),
-            energy_harvested: Energy::from_millijoules(130.0),
-            total_time: Seconds::new(1000.0),
             ..RunStats::default()
         };
+        for _ in 0..1000 {
+            stats.record_tick(NodeState::Sleep);
+        }
+        stats.finalize(
+            Seconds::new(1.0),
+            Energy::from_millijoules(130.0).to_fx(),
+            EnergyFx::ZERO,
+            Energy::from_millijoules(120.0).to_fx(),
+        );
         let profile = stats.intermittency_profile();
         assert!(profile.is_valid());
         assert!((profile.safe_zone_recovery_fraction - 0.4).abs() < 1e-9);

@@ -79,8 +79,8 @@ proptest! {
             .iter()
             .map(|&state| stats.time_in(state).as_seconds())
             .sum();
-        prop_assert!((summed - stats.total_time.as_seconds()).abs() < 1e-6, "{stats}");
-        prop_assert!((stats.total_time.as_seconds() - duration.as_seconds()).abs() < dt.as_seconds());
+        prop_assert!((summed - stats.total_time().as_seconds()).abs() < 1e-6, "{stats}");
+        prop_assert!((stats.total_time().as_seconds() - duration.as_seconds()).abs() < dt.as_seconds());
         prop_assert!((0.0..=1.0).contains(&stats.active_fraction()), "{stats}");
         // Starting from an empty capacitor, nothing can be consumed that was
         // not harvested first.

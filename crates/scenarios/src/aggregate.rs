@@ -328,13 +328,15 @@ impl fmt::Display for CampaignSummary {
 mod tests {
     use super::*;
 
+    // `RunStats` carries private integer accumulators now, so tests build
+    // one from the default and set the public counters they need.
+    #[allow(clippy::field_reassign_with_default)]
     fn stats(sensed: u64, computed: u64, backups: u64) -> RunStats {
-        RunStats {
-            samples_sensed: sensed,
-            computations_completed: computed,
-            backups,
-            ..RunStats::default()
-        }
+        let mut stats = RunStats::default();
+        stats.samples_sensed = sensed;
+        stats.computations_completed = computed;
+        stats.backups = backups;
+        stats
     }
 
     #[test]

@@ -206,6 +206,80 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The exact integer accumulators agree with the pre-transition f64
+    /// fold they replaced, and conserve energy *exactly*.
+    ///
+    /// A reference fold reconstructs the old floating-point energy
+    /// aggregates from the scalar trace (per tick: `offered = max(p,0)·dt`,
+    /// `banked = clamp(offered)`, `consumed = prev + banked - stored`).
+    /// The fixed-point totals must match it within the documented
+    /// quantisation budget — at most ~2 aJ per tick (one 0.5 aJ
+    /// round-to-nearest per boundary crossing, DESIGN.md "Exact integer
+    /// accumulators") plus 1 pJ of slack for the reference fold's own f64
+    /// rounding.  On top of that, conservation holds with *no* tolerance:
+    /// `harvested - consumed == final - initial` in attojoules, which no
+    /// f64 accumulator could promise.  (Scalar == batch stays bit-exact and
+    /// is pinned by the other properties in this file.)
+    #[test]
+    fn fx_totals_match_the_f64_reference_fold_and_conserve_exactly(
+        source_index in 0_usize..8,
+        initial_mj in 0.0_f64..25.0,
+        seed in 0_u64..u64::MAX,
+        duration in 100.0_f64..900.0,
+        dt_s in (0_usize..3).prop_map(|i| [0.5_f64, 0.25, 0.7][i]),
+    ) {
+        let dt = Seconds::new(dt_s);
+        let cap = Capacitor::paper_default().with_energy(Energy::from_millijoules(initial_mj));
+        let initial_fx = cap.energy_fx();
+        let e_max = cap.max_energy().value();
+        let spec = adversarial_source(source_index);
+        let mut scratch = SourceScratch::new();
+        let mut exec = IntermittentExecutor::with_source(
+            FsmConfig::paper_default().with_seed(seed),
+            spec.build_seeded_lane(seed, &mut scratch),
+        )
+        .with_capacitor(cap);
+        let (stats, trace) = exec.run_with_trace(Seconds::new(duration), dt);
+
+        // Pre-transition reference: the f64 fold the executor ran before
+        // the accumulators moved to fixed point.
+        let mut prev = cap.energy().value();
+        let (mut hv, mut cl, mut co) = (0.0_f64, 0.0, 0.0);
+        for sample in trace.samples() {
+            let offered = sample.harvest.value().max(0.0) * dt_s;
+            let banked = offered.min(e_max - prev).max(0.0);
+            hv += banked;
+            cl += offered - banked;
+            co += (prev + banked - sample.stored.value()).max(0.0);
+            prev = sample.stored.value();
+        }
+        let tolerance = 1e-12 + trace.len() as f64 * 2e-18;
+        prop_assert!((stats.energy_harvested.as_joules() - hv).abs() <= tolerance,
+            "harvested {} vs reference {hv}", stats.energy_harvested.as_joules());
+        prop_assert!((stats.energy_clipped.as_joules() - cl).abs() <= tolerance,
+            "clipped {} vs reference {cl}", stats.energy_clipped.as_joules());
+        prop_assert!((stats.energy_consumed.as_joules() - co).abs() <= tolerance,
+            "consumed {} vs reference {co}", stats.energy_consumed.as_joules());
+
+        // Exact conservation, attojoule for attojoule.
+        prop_assert_eq!(
+            stats.energy_harvested - stats.energy_consumed,
+            exec.capacitor().energy_fx() - initial_fx,
+            "conservation violated: harvested {} consumed {} initial {} final {}",
+            stats.energy_harvested, stats.energy_consumed, initial_fx,
+            exec.capacitor().energy_fx()
+        );
+
+        // Time accounting: tick counters scale back to the f64 duration.
+        let ticks = stats.total_ticks();
+        prop_assert_eq!(ticks, trace.len() as u64);
+        prop_assert!((stats.total_time().as_seconds() - dt_s * ticks as f64).abs() < 1e-9);
+    }
+}
+
 /// The paper-shaped 216-scenario campaign must fast-forward a majority of
 /// its ticks — this is the deterministic telemetry check backing the PR's
 /// speedup claim (and `ticks_fast_forwarded > 0` in particular).

@@ -52,4 +52,4 @@ pub use cells::{Cell, CellKind, CellLibrary};
 pub use energy_model::{EnergyEstimate, OperandProfile};
 pub use flipflop::{FlipFlopKind, FlipFlopModel};
 pub use nvm::{NvmCell, NvmTechnology};
-pub use units::{Capacitance, Energy, Power, Seconds, Voltage};
+pub use units::{Capacitance, Energy, EnergyFx, Power, Seconds, Voltage};

@@ -202,7 +202,201 @@ quantity!(
     "um^2"
 );
 
+/// Attojoules per joule: the pinned scale of the fixed-point energy unit
+/// [`EnergyFx`].  1 aJ = 1e-18 J resolves the paper's 25 mJ capacitor to
+/// 2.5e16 quanta — finer than one f64 ulp at that magnitude (≈ 3.5 aJ), so
+/// the quantisation error of a conversion is below what the old float
+/// representation could even express.
+pub const ATTOJOULES_PER_JOULE: f64 = 1e18;
+
+/// An exact fixed-point amount of energy, stored as a signed integer count
+/// of attojoules (1 aJ = 1e-18 J).
+///
+/// Unlike [`Energy`] (an `f64` of joules), addition here is *associative*:
+/// `k` identical per-tick adds equal one `k · x` multiply-add bit for bit,
+/// which is what lets the simulators collapse quiescent stretches to closed
+/// form without renegotiating determinism per call site.  The i128 range
+/// (±1.7e38 aJ ≈ ±1.7e20 J) is ~14 orders of magnitude above any
+/// accumulator this workspace can produce, so overflow is structurally
+/// unreachable (see DESIGN.md "Exact integer accumulators").
+///
+/// ```
+/// use tech45::units::{Energy, EnergyFx};
+///
+/// let e = Energy::from_millijoules(25.0).to_fx();
+/// assert_eq!(e.attojoules(), 25_000_000_000_000_000);
+/// assert_eq!(e + e - e, e);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EnergyFx(i128);
+
+impl EnergyFx {
+    /// Zero energy.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates a fixed-point energy from a raw attojoule count.
+    #[must_use]
+    pub const fn from_attojoules(aj: i128) -> Self {
+        Self(aj)
+    }
+
+    /// The raw attojoule count.
+    #[must_use]
+    pub const fn attojoules(self) -> i128 {
+        self.0
+    }
+
+    /// Quantises a floating-point [`Energy`] to the nearest attojoule.
+    ///
+    /// The maximum quantisation error is 0.5 aJ (5e-19 J).  Non-finite
+    /// inputs follow Rust's saturating float→int cast: ±∞ pins to the i128
+    /// range ends and NaN maps to zero.
+    #[must_use]
+    #[inline]
+    pub fn from_energy(energy: Energy) -> Self {
+        // Semantically this is `scaled.round() as i128`, but that form costs
+        // a libm call plus a software f64→i128 conversion (`__fixdfti`) per
+        // tick, which dominates the scalar simulation loop.  The ranges
+        // below reproduce the same bits through hardware i64 conversions:
+        //
+        // * |scaled| < 2^53 — the fractional part is exact after removing
+        //   the truncated integer part, so round-half-away-from-zero is one
+        //   explicit adjustment;
+        // * 2^53 ≤ |scaled| < 2^63 — every f64 here is an integer (the
+        //   spacing is ≥ 2 aJ), so rounding is the identity and truncation
+        //   converts exactly;
+        // * everything else (±∞, NaN, beyond i64) — the original saturating
+        //   form, off the hot path.
+        let scaled = energy.value() * ATTOJOULES_PER_JOULE;
+        const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+        const I64_EDGE: f64 = 9.223_372_036_854_776e18; // 2^63
+        if scaled.abs() < EXACT {
+            let t = scaled as i64;
+            let f = scaled - t as f64;
+            let adj = i64::from(f >= 0.5) - i64::from(f <= -0.5);
+            Self(i128::from(t + adj))
+        } else if scaled.abs() < I64_EDGE {
+            Self(i128::from(scaled as i64))
+        } else {
+            Self(scaled.round() as i128)
+        }
+    }
+
+    /// Converts back to a floating-point [`Energy`] (rounds to the nearest
+    /// representable f64; exact below 2^53 aJ ≈ 9 mJ).
+    #[must_use]
+    pub fn to_energy(self) -> Energy {
+        Energy::new(self.0 as f64 / ATTOJOULES_PER_JOULE)
+    }
+
+    /// This energy in joules (via the same rounding as [`Self::to_energy`]).
+    #[must_use]
+    pub fn as_joules(self) -> f64 {
+        self.0 as f64 / ATTOJOULES_PER_JOULE
+    }
+
+    /// This energy in millijoules.
+    #[must_use]
+    pub fn as_millijoules(self) -> f64 {
+        self.0 as f64 / 1e15
+    }
+
+    /// This energy in microjoules.
+    #[must_use]
+    pub fn as_microjoules(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// The larger of two energies.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// The smaller of two energies.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Clamps this energy into `[lo, hi]`.
+    #[must_use]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        Self(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(self) -> Self {
+        Self(self.0.abs())
+    }
+
+    /// Whether this energy is zero or below.
+    #[must_use]
+    pub const fn is_non_positive(self) -> bool {
+        self.0 <= 0
+    }
+}
+
+impl Add for EnergyFx {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for EnergyFx {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for EnergyFx {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for EnergyFx {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for EnergyFx {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self(-self.0)
+    }
+}
+
+impl Mul<i128> for EnergyFx {
+    type Output = Self;
+    fn mul(self, rhs: i128) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Sum for EnergyFx {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|q| q.0).sum())
+    }
+}
+
+impl fmt::Display for EnergyFx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} aJ", self.0)
+    }
+}
+
 impl Energy {
+    /// Quantises this energy to the nearest attojoule (see [`EnergyFx`]).
+    #[must_use]
+    pub fn to_fx(self) -> EnergyFx {
+        EnergyFx::from_energy(self)
+    }
+
     /// Creates an energy expressed in millijoules.
     #[must_use]
     pub fn from_millijoules(mj: f64) -> Self {

@@ -1,0 +1,114 @@
+//! Known-answer tests for the exact fixed-point energy representation
+//! (PR 10).
+//!
+//! Every campaign digest is downstream of the conversion constants pinned
+//! here: if the attojoule scale, the round-to-nearest quantisation, or the
+//! tick↔seconds accounting ever drifts — a refactor changes a constant, a
+//! "cleanup" swaps `round` for `trunc` — these vectors fail before a single
+//! golden has to be re-blessed.  They may only change together with a
+//! documented numeric-stream transition (DESIGN.md "Exact integer
+//! accumulators").
+
+use tech45::units::{Energy, EnergyFx, Power, Seconds, ATTOJOULES_PER_JOULE};
+
+#[test]
+fn the_attojoule_scale_is_pinned() {
+    // 1 aJ = 1e-18 J, exactly representable in f64 (1e18 < 2^63 and is a
+    // whole number f64 stores exactly: 1e18 = 2^18 · 5^18 fits in 53 bits
+    // of mantissa? 5^18 ≈ 3.8e12 < 2^53 — yes).
+    assert_eq!(ATTOJOULES_PER_JOULE, 1e18);
+    assert_eq!(ATTOJOULES_PER_JOULE as u64, 1_000_000_000_000_000_000);
+}
+
+#[test]
+fn paper_scale_energies_quantise_to_the_pinned_attojoule_values() {
+    // (millijoules, attojoules) pairs spanning the paper's operating range:
+    // the 25 mJ capacity, the FSM thresholds, and an operation slice.
+    let vectors: &[(f64, i128)] = &[
+        (25.0, 25_000_000_000_000_000),
+        (20.0, 20_000_000_000_000_000),
+        (5.0, 5_000_000_000_000_000),
+        (2.5, 2_500_000_000_000_000),
+        (0.5, 500_000_000_000_000),
+        (0.0, 0),
+    ];
+    for &(mj, aj) in vectors {
+        assert_eq!(Energy::from_millijoules(mj).to_fx().attojoules(), aj, "{mj} mJ");
+        // The conversion is a bijection on these grid points.
+        assert_eq!(EnergyFx::from_attojoules(aj).to_energy().as_millijoules(), mj);
+    }
+    // Note 25 mJ = 2.5e16 aJ > 2^53 ≈ 9.0e15: the capacity itself lies
+    // beyond f64's exact-integer range, which is why every threshold
+    // comparison runs natively in i128.
+}
+
+#[test]
+fn power_times_dt_products_quantise_to_the_pinned_values() {
+    // The per-tick offered energy the executor banks: quantised once, at
+    // the capacitor boundary.
+    let vectors: &[(f64, f64, i128)] = &[
+        // 20 µW × 0.5 s = 10 µJ = 1e13 aJ.
+        (20e-6, 0.5, 10_000_000_000_000),
+        // 0.1 mW × 0.5 s = 50 µJ.
+        (1e-4, 0.5, 50_000_000_000_000),
+        // 137.3 µW × 0.25 s — a deliberately non-round product.
+        (137.3e-6, 0.25, 34_325_000_000_000),
+        (0.0, 0.5, 0),
+    ];
+    for &(watts, dt_s, aj) in vectors {
+        let offered = Power::new(watts) * Seconds::new(dt_s);
+        assert_eq!(offered.to_fx().attojoules(), aj, "{watts} W x {dt_s} s");
+    }
+}
+
+#[test]
+fn quantisation_rounds_to_nearest_within_half_an_attojoule() {
+    // Round-trip error bound: |to_fx(e).to_energy() - e| <= 0.5 aJ for any
+    // energy in the simulation's range (where f64 spacing < 1 aJ fails only
+    // above ~9 J — far past the 25 mJ capacity).
+    for &joules in
+        &[0.0, 1e-18, 1.49e-18, 1.51e-18, 2.5e-2, 1.234_567_891e-3, 7.7e-6, 0.999_999_9e-2]
+    {
+        let fx = Energy::new(joules).to_fx();
+        let back = fx.to_energy().value();
+        assert!(
+            (back - joules).abs() <= 0.5 / ATTOJOULES_PER_JOULE,
+            "round-trip error {} aJ at {joules} J",
+            (back - joules).abs() * ATTOJOULES_PER_JOULE
+        );
+    }
+    // Nearest, not truncation: 1.6 aJ rounds up to 2 aJ.
+    assert_eq!(Energy::new(1.6e-18).to_fx().attojoules(), 2);
+    assert_eq!(Energy::new(1.4e-18).to_fx().attojoules(), 1);
+    // Negative energies (accumulator differences) round symmetrically.
+    assert_eq!(Energy::new(-1.6e-18).to_fx().attojoules(), -2);
+}
+
+#[test]
+fn tick_counters_convert_to_seconds_on_the_dt_grid() {
+    // Time-in-state is a tick count scaled by one constant dt at
+    // finalisation: k ticks of dt seconds report exactly dt * k.
+    let dt = Seconds::new(0.5);
+    for &ticks in &[0_u64, 1, 3, 3000, 1_000_000] {
+        let reported = dt * ticks as f64;
+        assert_eq!(reported.as_seconds(), 0.5 * ticks as f64);
+    }
+    // The paper grid: 1500 s at dt = 0.5 s is exactly 3000 ticks, and the
+    // reconstruction is exact (0.5 is a power of two).
+    assert_eq!((Seconds::new(0.5) * 3000.0).as_seconds(), 1500.0);
+}
+
+#[test]
+fn fx_arithmetic_is_exact_and_associative() {
+    // The property the whole PR rests on: integer accumulators make window
+    // closed forms bit-identical to per-tick sums.
+    let step = EnergyFx::from_attojoules(34_325_000_000_000);
+    let mut serial = EnergyFx::ZERO;
+    for _ in 0..500 {
+        serial += step;
+    }
+    assert_eq!(serial, step * 500);
+    assert_eq!(serial.attojoules(), 500 * 34_325_000_000_000);
+    // Subtraction is the exact inverse — conservation needs no tolerance.
+    assert_eq!(serial - step * 499, step);
+}
